@@ -1,0 +1,262 @@
+//! The All-Interval Series problem (CSPLib prob007) for Adaptive Search.
+//!
+//! The paper introduces the CAP as "conceptually related to three well-known CSPs",
+//! one of which is the All-Interval Series problem: arrange the `n` pitch classes
+//! `1..=n` so that the `n − 1` absolute differences between adjacent elements are all
+//! distinct (hence a permutation of `1..=n−1`).  It is the one-row cousin of the
+//! Costas difference triangle, and having it in the workspace both demonstrates the
+//! engine's domain independence and provides a structurally close but much easier
+//! benchmark for comparisons.
+//!
+//! Cost model: the number of *missing* distinct adjacent differences, i.e.
+//! `(n − 1) − |{ |v[i+1] − v[i]| }|`; equivalently the count of repeated differences.
+
+use crate::problem::PermutationProblem;
+
+/// All-Interval Series with an incremental histogram of adjacent differences.
+#[derive(Debug, Clone)]
+pub struct AllIntervalProblem {
+    values: Vec<usize>,
+    /// `diff_count[d]` = number of adjacent pairs with |difference| = d (1-based).
+    diff_count: Vec<u32>,
+    cost: u64,
+}
+
+impl AllIntervalProblem {
+    /// Create an instance of order `n` initialised with the identity permutation.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "All-Interval order must be positive");
+        let mut p = Self {
+            values: (1..=n).collect(),
+            diff_count: vec![0; n],
+            cost: 0,
+        };
+        p.rebuild();
+        p
+    }
+
+    fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    fn adjacent_diff(&self, left: usize) -> usize {
+        self.values[left].abs_diff(self.values[left + 1])
+    }
+
+    fn rebuild(&mut self) {
+        self.diff_count.iter_mut().for_each(|c| *c = 0);
+        self.cost = 0;
+        for left in 0..self.n().saturating_sub(1) {
+            let d = self.adjacent_diff(left);
+            if self.diff_count[d] > 0 {
+                self.cost += 1;
+            }
+            self.diff_count[d] += 1;
+        }
+    }
+
+    fn remove_edge(&mut self, left: usize) {
+        let d = self.adjacent_diff(left);
+        self.diff_count[d] -= 1;
+        if self.diff_count[d] > 0 {
+            self.cost -= 1;
+        }
+    }
+
+    fn add_edge(&mut self, left: usize) {
+        let d = self.adjacent_diff(left);
+        if self.diff_count[d] > 0 {
+            self.cost += 1;
+        }
+        self.diff_count[d] += 1;
+    }
+
+    /// Edges (left indices of adjacent pairs) affected by changing positions i and j.
+    fn affected_edges(&self, i: usize, j: usize) -> Vec<usize> {
+        let mut edges = Vec::with_capacity(4);
+        for &p in &[i, j] {
+            if p > 0 {
+                edges.push(p - 1);
+            }
+            if p + 1 < self.n() {
+                edges.push(p);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Reference O(n) cost used by tests.
+    #[cfg(test)]
+    fn cost_from_scratch(values: &[usize]) -> u64 {
+        let n = values.len();
+        let mut seen = vec![0u32; n];
+        let mut cost = 0;
+        for i in 0..n.saturating_sub(1) {
+            let d = values[i].abs_diff(values[i + 1]);
+            if seen[d] > 0 {
+                cost += 1;
+            }
+            seen[d] += 1;
+        }
+        cost
+    }
+}
+
+impl PermutationProblem for AllIntervalProblem {
+    fn size(&self) -> usize {
+        self.n()
+    }
+
+    fn set_configuration(&mut self, values: &[usize]) {
+        self.values = values.to_vec();
+        self.rebuild();
+    }
+
+    fn configuration(&self) -> &[usize] {
+        &self.values
+    }
+
+    fn global_cost(&self) -> u64 {
+        self.cost
+    }
+
+    fn variable_errors(&self, out: &mut Vec<u64>) {
+        let n = self.n();
+        out.clear();
+        out.resize(n, 0);
+        for left in 0..n.saturating_sub(1) {
+            let d = self.adjacent_diff(left);
+            // every extra occupant of a difference class is an error charged to both
+            // endpoints of the pair
+            if self.diff_count[d] > 1 {
+                out[left] += 1;
+                out[left + 1] += 1;
+            }
+        }
+    }
+
+    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
+        if i == j {
+            return self.cost;
+        }
+        self.apply_swap(i, j);
+        let c = self.cost;
+        self.apply_swap(i, j);
+        c
+    }
+
+    fn apply_swap(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        let edges = self.affected_edges(i, j);
+        for &e in &edges {
+            self.remove_edge(e);
+        }
+        self.values.swap(i, j);
+        for &e in &edges {
+            self.add_edge(e);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "all-interval"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AsConfig;
+    use crate::engine::Engine;
+    use xrand::{default_rng, random_permutation, RandExt};
+
+    #[test]
+    fn known_solution_has_zero_cost() {
+        // The zig-zag series 1, n, 2, n-1, ... is a classical all-interval series.
+        let n = 8;
+        let mut zigzag = Vec::new();
+        let (mut lo, mut hi) = (1, n);
+        while lo <= hi {
+            zigzag.push(lo);
+            if lo != hi {
+                zigzag.push(hi);
+            }
+            lo += 1;
+            hi -= 1;
+        }
+        let mut p = AllIntervalProblem::new(n);
+        p.set_configuration(&zigzag);
+        assert_eq!(p.global_cost(), 0, "{zigzag:?}");
+    }
+
+    #[test]
+    fn identity_has_all_equal_intervals() {
+        let p = AllIntervalProblem::new(6);
+        // identity: 5 adjacent differences all equal to 1 → 4 repeats
+        assert_eq!(p.global_cost(), 4);
+    }
+
+    #[test]
+    fn incremental_cost_matches_scratch_under_random_swaps() {
+        let mut rng = default_rng(4);
+        for n in [2usize, 3, 5, 12, 24] {
+            let mut init = random_permutation(n, &mut rng);
+            init.iter_mut().for_each(|v| *v += 1);
+            let mut p = AllIntervalProblem::new(n);
+            p.set_configuration(&init);
+            for _ in 0..200 {
+                let i = rng.index(n);
+                let j = rng.index(n);
+                p.apply_swap(i, j);
+                assert_eq!(
+                    p.global_cost(),
+                    AllIntervalProblem::cost_from_scratch(p.configuration()),
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_after_swap_is_pure() {
+        let mut p = AllIntervalProblem::new(10);
+        let before = p.configuration().to_vec();
+        let cost_before = p.global_cost();
+        let _ = p.cost_after_swap(2, 7);
+        assert_eq!(p.configuration(), &before[..]);
+        assert_eq!(p.global_cost(), cost_before);
+    }
+
+    #[test]
+    fn adaptive_search_solves_all_interval() {
+        for n in [8usize, 12, 14] {
+            let cfg = AsConfig::builder().use_custom_reset(false).build();
+            let mut engine = Engine::new(AllIntervalProblem::new(n), cfg, 77 + n as u64);
+            let r = engine.solve();
+            assert!(r.is_solved(), "n = {n}");
+            assert_eq!(
+                AllIntervalProblem::cost_from_scratch(&r.solution.unwrap()),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn variable_errors_are_zero_exactly_on_solutions() {
+        let mut p = AllIntervalProblem::new(8);
+        p.set_configuration(&[1, 8, 2, 7, 3, 6, 4, 5]);
+        let mut errs = Vec::new();
+        p.variable_errors(&mut errs);
+        assert!(errs.iter().all(|&e| e == 0));
+        p.set_configuration(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        p.variable_errors(&mut errs);
+        assert!(errs.iter().sum::<u64>() > 0);
+    }
+}

@@ -1,0 +1,488 @@
+//! The Adaptive Search engine (paper Figure 1, plus the §III-B tunings).
+//!
+//! One [`Engine`] owns one problem instance, one random stream and one Tabu memory,
+//! and runs one *walk*.  The engine can be driven three ways:
+//!
+//! * [`Engine::solve`] — run until a solution or the iteration budget;
+//! * [`Engine::solve_until`] — additionally poll an external [`StopCondition`] every
+//!   `stop_check_interval` iterations, which is how the multi-walk runners implement
+//!   the paper's "terminate as soon as some other process found a solution";
+//! * [`Engine::step`] — execute exactly one iteration; the virtual-cluster simulator
+//!   in the `multiwalk` crate interleaves thousands of walks this way on a single
+//!   host while keeping their iteration counts as the (machine-independent) clock.
+
+use std::time::Instant;
+
+use xrand::{default_rng, random_permutation, DefaultRng, RandExt};
+
+use crate::config::{AsConfig, RestartPolicy};
+use crate::problem::PermutationProblem;
+use crate::stats::{SearchStats, SolveResult, SolveStatus};
+use crate::tabu::TabuList;
+use crate::termination::{NeverStop, StopCondition};
+
+/// Result of a single engine iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The current configuration has cost zero.
+    Solved,
+    /// The search continues.
+    Continue,
+}
+
+/// One Adaptive Search walk over one [`PermutationProblem`].
+pub struct Engine<P: PermutationProblem> {
+    problem: P,
+    config: AsConfig,
+    rng: DefaultRng,
+    tabu: TabuList,
+    stats: SearchStats,
+    best_cost: u64,
+    best_config: Vec<usize>,
+    iterations_since_restart: u64,
+    /// Variables marked Tabu since the last reset — the quantity compared against the
+    /// paper's `RL` parameter.
+    marked_since_reset: usize,
+    // scratch buffers reused across iterations to keep the inner loop allocation-free
+    errors: Vec<u64>,
+    ties: Vec<usize>,
+}
+
+impl<P: PermutationProblem> Engine<P> {
+    /// Create an engine and draw the initial random configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`AsConfig::validate`] or the problem has
+    /// size zero.
+    pub fn new(problem: P, config: AsConfig, seed: u64) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid AsConfig: {e}");
+        }
+        assert!(problem.size() > 0, "cannot search over an empty problem");
+        let n = problem.size();
+        let tenure = config.tabu_tenure;
+        let mut engine = Self {
+            problem,
+            config,
+            rng: default_rng(seed),
+            tabu: TabuList::new(n, tenure),
+            stats: SearchStats::default(),
+            best_cost: u64::MAX,
+            best_config: Vec::new(),
+            iterations_since_restart: 0,
+            marked_since_reset: 0,
+            errors: Vec::with_capacity(n),
+            ties: Vec::with_capacity(n),
+        };
+        engine.randomize_configuration();
+        engine
+    }
+
+    /// The problem being solved (current configuration included).
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
+    /// Consume the engine and recover the problem.
+    pub fn into_problem(self) -> P {
+        self.problem
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// Cost of the current configuration.
+    pub fn current_cost(&self) -> u64 {
+        self.problem.global_cost()
+    }
+
+    /// Best cost seen so far in this engine's lifetime.
+    pub fn best_cost(&self) -> u64 {
+        self.best_cost
+    }
+
+    /// Draw a fresh random permutation and install it.
+    fn randomize_configuration(&mut self) {
+        let n = self.problem.size();
+        let mut perm = random_permutation(n, &mut self.rng);
+        perm.iter_mut().for_each(|v| *v += 1);
+        self.problem.set_configuration(&perm);
+        self.tabu.clear();
+        self.marked_since_reset = 0;
+        self.iterations_since_restart = 0;
+        self.note_best();
+    }
+
+    /// Record the current configuration if it is the best seen so far.
+    fn note_best(&mut self) {
+        let cost = self.problem.global_cost();
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_config = self.problem.configuration().to_vec();
+        }
+    }
+
+    /// Select the culprit variable: the non-Tabu variable with the largest projected
+    /// error (ties broken uniformly at random).  Returns `None` when every erroneous
+    /// variable is currently frozen.
+    fn select_culprit(&mut self) -> Option<usize> {
+        let now = self.stats.iterations;
+        self.problem.variable_errors(&mut self.errors);
+        let mut best_err = 0u64;
+        self.ties.clear();
+        for (var, &err) in self.errors.iter().enumerate() {
+            if err == 0 || self.tabu.is_tabu(var, now) {
+                continue;
+            }
+            if err > best_err {
+                best_err = err;
+                self.ties.clear();
+                self.ties.push(var);
+            } else if err == best_err {
+                self.ties.push(var);
+            }
+        }
+        if self.ties.is_empty() {
+            None
+        } else {
+            Some(self.ties[self.rng.index(self.ties.len())])
+        }
+    }
+
+    /// Min-conflict step: among all swaps of `culprit` with another position, find the
+    /// one giving the lowest cost (ties broken uniformly at random).
+    fn best_swap_for(&mut self, culprit: usize) -> (usize, u64) {
+        let n = self.problem.size();
+        let mut best_cost = u64::MAX;
+        self.ties.clear();
+        for j in 0..n {
+            if j == culprit {
+                continue;
+            }
+            let cost = self.problem.cost_after_swap(culprit, j);
+            if cost < best_cost {
+                best_cost = cost;
+                self.ties.clear();
+                self.ties.push(j);
+            } else if cost == best_cost {
+                self.ties.push(j);
+            }
+        }
+        let pick = self.ties[self.rng.index(self.ties.len())];
+        (pick, best_cost)
+    }
+
+    /// Generic reset: perturb ⌈RP·n⌉ variables (at least one) by random swaps, which
+    /// re-assigns "fresh values" while staying inside the permutation representation.
+    fn generic_random_reset(&mut self) {
+        let n = self.problem.size();
+        let k = ((self.config.reset.reset_percentage * n as f64).ceil() as usize).max(1);
+        for _ in 0..k {
+            let i = self.rng.index(n);
+            let j = self.rng.index(n);
+            if i != j {
+                self.problem.apply_swap(i, j);
+            }
+        }
+    }
+
+    /// Diversification: the problem-specific reset when available and enabled,
+    /// otherwise the generic `RP`-percentage random perturbation.
+    ///
+    /// Tabu marks are *not* erased by a reset — recently problematic variables stay
+    /// frozen until their tenure expires, which steers the post-reset search towards
+    /// other variables.  Only the `RL` counter (marks since the last reset) is reset.
+    fn perform_reset(&mut self, culprit: usize) {
+        self.stats.resets += 1;
+        let entry_cost = self.problem.global_cost();
+        let mut handled = false;
+        if self.config.reset.use_custom_reset {
+            if let Some(new_cost) = self.problem.custom_reset(culprit, &mut self.rng) {
+                self.stats.custom_resets += 1;
+                if new_cost < entry_cost {
+                    self.stats.custom_reset_escapes += 1;
+                } else if self.config.reset.noise_on_failed_custom_reset {
+                    // The structured perturbation could not escape the local minimum:
+                    // add the generic random kick so the reset sequence cannot cycle
+                    // deterministically through the same handful of configurations.
+                    self.generic_random_reset();
+                }
+                handled = true;
+            }
+        }
+        if !handled {
+            self.generic_random_reset();
+        }
+        self.marked_since_reset = 0;
+        self.note_best();
+    }
+
+    /// Execute one iteration of the Adaptive Search loop.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.problem.global_cost() == 0 {
+            return StepOutcome::Solved;
+        }
+        self.stats.iterations += 1;
+        self.iterations_since_restart += 1;
+
+        // Full restart when the policy says so.
+        if let RestartPolicy::Every { iterations } = self.config.restart {
+            if self.iterations_since_restart >= iterations {
+                self.stats.restarts += 1;
+                self.randomize_configuration();
+                return if self.problem.global_cost() == 0 {
+                    StepOutcome::Solved
+                } else {
+                    StepOutcome::Continue
+                };
+            }
+        }
+
+        let now = self.stats.iterations;
+        let current_cost = self.problem.global_cost();
+
+        let culprit = match self.select_culprit() {
+            Some(v) => v,
+            None => {
+                // Every erroneous variable is frozen: diversify immediately.
+                let fallback = self.rng.index(self.problem.size());
+                self.perform_reset(fallback);
+                return if self.problem.global_cost() == 0 {
+                    StepOutcome::Solved
+                } else {
+                    StepOutcome::Continue
+                };
+            }
+        };
+
+        let (partner, new_cost) = self.best_swap_for(culprit);
+
+        if new_cost < current_cost {
+            self.problem.apply_swap(culprit, partner);
+            self.stats.improving_moves += 1;
+            self.note_best();
+        } else if new_cost == current_cost {
+            // Plateau (§III-B1): follow with probability p, otherwise freeze.
+            if self.rng.bool_with_prob(self.config.plateau_probability) {
+                self.problem.apply_swap(culprit, partner);
+                self.stats.plateau_moves += 1;
+            } else {
+                self.tabu.freeze(culprit, now);
+                self.stats.tabu_marks += 1;
+                self.marked_since_reset += 1;
+            }
+        } else {
+            // Local minimum w.r.t. the culprit's neighbourhood.
+            self.stats.local_minima += 1;
+            self.tabu.freeze(culprit, now);
+            self.stats.tabu_marks += 1;
+            self.marked_since_reset += 1;
+        }
+
+        // Reset trigger (RL): enough variables marked Tabu since the previous reset.
+        if self.marked_since_reset >= self.config.reset.reset_limit {
+            self.perform_reset(culprit);
+        }
+
+        if self.problem.global_cost() == 0 {
+            StepOutcome::Solved
+        } else {
+            StepOutcome::Continue
+        }
+    }
+
+    /// Run until solved, the iteration budget is exhausted, or `stop` fires.
+    pub fn solve_until(&mut self, stop: &mut dyn StopCondition) -> SolveResult {
+        let start = Instant::now();
+        let started_iterations = self.stats.iterations;
+        let mut status = if self.problem.global_cost() == 0 {
+            SolveStatus::Solved
+        } else {
+            SolveStatus::IterationLimit
+        };
+        if self.problem.global_cost() != 0 {
+            loop {
+                if self.step() == StepOutcome::Solved {
+                    status = SolveStatus::Solved;
+                    break;
+                }
+                let done = self.stats.iterations - started_iterations;
+                if done >= self.config.max_iterations {
+                    status = SolveStatus::IterationLimit;
+                    break;
+                }
+                if done % self.config.stop_check_interval == 0 {
+                    self.stats.stop_checks += 1;
+                    if stop.should_stop().is_some() {
+                        status = SolveStatus::ExternallyStopped;
+                        break;
+                    }
+                }
+            }
+        }
+        self.note_best();
+        let final_cost = self.problem.global_cost();
+        SolveResult {
+            status,
+            solution: if status == SolveStatus::Solved {
+                Some(self.problem.configuration().to_vec())
+            } else {
+                None
+            },
+            final_cost,
+            best_cost: self.best_cost,
+            stats: self.stats.clone(),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Run until solved or the iteration budget is exhausted.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_until(&mut NeverStop)
+    }
+
+    /// Restart from a fresh random configuration (counted in the statistics).
+    /// Exposed so external drivers (e.g. the sequential multi-restart driver) can
+    /// implement their own restart schedules.
+    pub fn restart(&mut self) {
+        self.stats.restarts += 1;
+        self.randomize_configuration();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AsConfig;
+    use crate::costas_model::CostasProblem;
+    use crate::stats::SolveStatus;
+    use crate::termination::{FlagStop, StopReason};
+    use costas::is_costas_permutation;
+
+    fn small_engine(n: usize, seed: u64) -> Engine<CostasProblem> {
+        Engine::new(CostasProblem::new(n), AsConfig::costas_defaults(n), seed)
+    }
+
+    #[test]
+    fn solves_trivial_orders_immediately_or_quickly() {
+        for n in [1usize, 2, 3, 4, 5, 6, 7] {
+            let mut e = small_engine(n, 7 + n as u64);
+            let r = e.solve();
+            assert_eq!(r.status, SolveStatus::Solved, "order {n}");
+            assert!(is_costas_permutation(&r.solution.unwrap()), "order {n}");
+            assert_eq!(r.final_cost, 0);
+        }
+    }
+
+    #[test]
+    fn solves_order_12_from_multiple_seeds() {
+        for seed in 0..5u64 {
+            let mut e = small_engine(12, seed);
+            let r = e.solve();
+            assert!(r.is_solved(), "seed {seed}");
+            assert!(is_costas_permutation(&r.solution.unwrap()));
+            assert!(r.stats.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let mut a = small_engine(11, 99);
+        let mut b = small_engine(11, 99);
+        let ra = a.solve();
+        let rb = b.solve();
+        assert_eq!(ra.solution, rb.solution);
+        assert_eq!(ra.stats.iterations, rb.stats.iterations);
+        assert_eq!(ra.stats.local_minima, rb.stats.local_minima);
+        assert_eq!(ra.stats.resets, rb.stats.resets);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let config = AsConfig::builder().max_iterations(50).build();
+        // order 18 will essentially never be solved in 50 iterations
+        let mut e = Engine::new(CostasProblem::new(18), config, 3);
+        let r = e.solve();
+        assert_eq!(r.status, SolveStatus::IterationLimit);
+        assert!(r.stats.iterations <= 51);
+        assert!(r.solution.is_none());
+        assert!(r.final_cost > 0);
+        assert!(r.best_cost <= r.final_cost + 1_000_000); // best is tracked
+    }
+
+    #[test]
+    fn external_stop_is_honoured() {
+        let (flag, mut stop) = FlagStop::fresh();
+        flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        let config = AsConfig::builder().stop_check_interval(4).build();
+        let mut e = Engine::new(CostasProblem::new(18), config, 5);
+        let r = e.solve_until(&mut stop);
+        assert_eq!(r.status, SolveStatus::ExternallyStopped);
+        assert!(r.stats.iterations <= 8, "stopped at the first poll");
+        assert!(r.stats.stop_checks >= 1);
+        // the StopReason conveyed by the condition is Cancelled
+        assert_eq!(stop.should_stop(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let mut e = small_engine(13, 2);
+        let r = e.solve();
+        assert!(r.is_solved());
+        let s = &r.stats;
+        // every iteration either moved, froze, or reset-after-freeze; moves are a
+        // subset of iterations
+        assert!(s.improving_moves + s.plateau_moves <= s.iterations);
+        assert!(s.local_minima <= s.tabu_marks);
+        assert!(s.custom_resets <= s.resets);
+        assert!(s.custom_reset_escapes <= s.custom_resets);
+    }
+
+    #[test]
+    fn restart_policy_triggers_restarts() {
+        let config = AsConfig::builder()
+            .restart(RestartPolicy::Every { iterations: 20 })
+            .max_iterations(500)
+            .build();
+        let mut e = Engine::new(CostasProblem::new(17), config, 11);
+        let r = e.solve();
+        // 500 iterations with restart every 20 → many restarts unless solved very early
+        if !r.is_solved() {
+            assert!(r.stats.restarts >= 10);
+        }
+    }
+
+    #[test]
+    fn manual_restart_counts_and_rerandomizes() {
+        let mut e = small_engine(14, 8);
+        let before = e.problem().configuration().to_vec();
+        e.restart();
+        assert_eq!(e.stats().restarts, 1);
+        // With overwhelming probability the configuration changed.
+        assert_ne!(e.problem().configuration(), &before[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AsConfig")]
+    fn invalid_config_panics() {
+        let mut cfg = AsConfig::default();
+        cfg.plateau_probability = 7.0;
+        let _ = Engine::new(CostasProblem::new(5), cfg, 0);
+    }
+
+    #[test]
+    fn best_cost_is_monotone_nonincreasing_over_a_run() {
+        let config = AsConfig::builder().max_iterations(2000).build();
+        let mut e = Engine::new(CostasProblem::new(16), config, 21);
+        let mut last_best = u64::MAX;
+        for _ in 0..2000 {
+            if e.step() == StepOutcome::Solved {
+                break;
+            }
+            assert!(e.best_cost() <= last_best);
+            last_best = e.best_cost();
+        }
+    }
+}

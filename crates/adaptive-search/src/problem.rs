@@ -1,0 +1,147 @@
+//! The problem interface of the Adaptive Search engine.
+//!
+//! Like the original AS C library used in the paper, the engine in this crate is
+//! specialised to *permutation problems*: the configuration is a permutation of
+//! `1..=n` and the elementary move is a swap of two positions.  All four models
+//! shipped in this crate (Costas, N-Queens, All-Interval, Magic Square) fit this
+//! shape, which is also what makes the `alldifferent` constraint implicit.
+//!
+//! A problem implementation owns its incremental bookkeeping (e.g. the Costas model
+//! wraps a [`costas::ConflictTable`]); the engine only ever talks to it through this
+//! trait, which keeps the metaheuristic strictly domain-independent (paper §III).
+
+use xrand::Rng64;
+
+/// A combinatorial problem whose configurations are permutations of `1..=size()` and
+/// whose cost is zero exactly on solutions.
+pub trait PermutationProblem {
+    /// Number of variables (= order of the permutation).
+    fn size(&self) -> usize;
+
+    /// Replace the current configuration.  `values` is guaranteed by the engine to be
+    /// a permutation of `1..=size()`.
+    fn set_configuration(&mut self, values: &[usize]);
+
+    /// The current configuration (1-based values).
+    fn configuration(&self) -> &[usize];
+
+    /// Global cost of the current configuration; `0` iff it is a solution.
+    fn global_cost(&self) -> u64;
+
+    /// Per-variable projected errors of the current configuration, written into `out`
+    /// (resized to `size()`).  The engine selects the maximum-error variable as the
+    /// culprit to repair (paper §III-A).
+    fn variable_errors(&self, out: &mut Vec<u64>);
+
+    /// Cost the configuration would have after swapping positions `i` and `j`.
+    /// Must not change the observable configuration.
+    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64;
+
+    /// Commit a swap of positions `i` and `j`.
+    fn apply_swap(&mut self, i: usize, j: usize);
+
+    /// Problem-specific reset procedure (paper §III-B2 / §IV-B).
+    ///
+    /// Called when the engine decides to diversify.  `worst_var` is the culprit
+    /// variable that triggered the reset.  Implementations may perturb their
+    /// configuration and return `Some(new_cost)`; returning `None` asks the engine to
+    /// apply its generic reset (re-randomising `RP`% of the variables by random
+    /// swaps).
+    fn custom_reset(&mut self, worst_var: usize, rng: &mut dyn Rng64) -> Option<u64> {
+        let _ = (worst_var, rng);
+        None
+    }
+
+    /// Human-readable problem name (used in reports and benchmark output).
+    fn name(&self) -> &'static str {
+        "permutation-problem"
+    }
+
+    /// Is the current configuration a solution?
+    fn is_solution(&self) -> bool {
+        self.global_cost() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately trivial problem used to exercise the engine in isolation:
+    /// cost = number of positions where the permutation differs from the identity.
+    /// Its unique solution is the identity permutation.
+    #[derive(Debug, Clone)]
+    pub struct SortingProblem {
+        values: Vec<usize>,
+    }
+
+    impl SortingProblem {
+        pub fn new(n: usize) -> Self {
+            Self { values: (1..=n).collect() }
+        }
+    }
+
+    impl PermutationProblem for SortingProblem {
+        fn size(&self) -> usize {
+            self.values.len()
+        }
+        fn set_configuration(&mut self, values: &[usize]) {
+            self.values = values.to_vec();
+        }
+        fn configuration(&self) -> &[usize] {
+            &self.values
+        }
+        fn global_cost(&self) -> u64 {
+            self.values
+                .iter()
+                .enumerate()
+                .filter(|(i, &v)| v != i + 1)
+                .count() as u64
+        }
+        fn variable_errors(&self, out: &mut Vec<u64>) {
+            out.clear();
+            out.extend(
+                self.values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| u64::from(v != i + 1)),
+            );
+        }
+        fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
+            self.values.swap(i, j);
+            let c = self.global_cost();
+            self.values.swap(i, j);
+            c
+        }
+        fn apply_swap(&mut self, i: usize, j: usize) {
+            self.values.swap(i, j);
+        }
+        fn name(&self) -> &'static str {
+            "sorting"
+        }
+    }
+
+    #[test]
+    fn sorting_problem_cost_and_errors() {
+        let mut p = SortingProblem::new(4);
+        assert_eq!(p.global_cost(), 0);
+        assert!(p.is_solution());
+        p.set_configuration(&[2, 1, 3, 4]);
+        assert_eq!(p.global_cost(), 2);
+        let mut errs = Vec::new();
+        p.variable_errors(&mut errs);
+        assert_eq!(errs, vec![1, 1, 0, 0]);
+        assert_eq!(p.cost_after_swap(0, 1), 0);
+        assert_eq!(p.global_cost(), 2, "cost_after_swap must not mutate");
+        p.apply_swap(0, 1);
+        assert!(p.is_solution());
+    }
+
+    #[test]
+    fn default_custom_reset_defers_to_engine() {
+        let mut p = SortingProblem::new(4);
+        let mut rng = xrand::default_rng(1);
+        assert_eq!(p.custom_reset(0, &mut rng), None);
+        assert_eq!(PermutationProblem::name(&p), "sorting");
+    }
+}

@@ -1,0 +1,227 @@
+//! The N-Queens problem as a permutation problem for Adaptive Search.
+//!
+//! N-Queens is one of the classical benchmarks the paper quotes when situating AS
+//! performance ("about 40 times faster than Comet on the N-queen problem for
+//! N = 10000 to 50000", §III-A).  The model: a queen per column, `v[i]` being its row.
+//! Because the configuration is a permutation, row and column conflicts are impossible
+//! and only diagonal conflicts are scored.
+//!
+//! The implementation maintains per-diagonal occupancy counters so cost updates are
+//! O(1) per swap — the same incremental philosophy as the Costas conflict table.
+
+use crate::problem::PermutationProblem;
+
+/// N-Queens with incremental diagonal counting.
+#[derive(Debug, Clone)]
+pub struct QueensProblem {
+    values: Vec<usize>,
+    /// Occupancy of the `2n − 1` "sum" diagonals (`row + col`).
+    diag_sum: Vec<u32>,
+    /// Occupancy of the `2n − 1` "difference" diagonals (`row − col + n − 1`).
+    diag_diff: Vec<u32>,
+    cost: u64,
+}
+
+impl QueensProblem {
+    /// Create an instance of order `n`, initialised with the identity permutation.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "N-Queens order must be positive");
+        let identity: Vec<usize> = (1..=n).collect();
+        let mut p = Self {
+            values: identity,
+            diag_sum: vec![0; 2 * n - 1],
+            diag_diff: vec![0; 2 * n - 1],
+            cost: 0,
+        };
+        p.rebuild();
+        p
+    }
+
+    fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    fn sum_index(&self, col: usize) -> usize {
+        // row + col, both 0-based: (v − 1) + col ∈ [0, 2n − 2]
+        self.values[col] - 1 + col
+    }
+
+    #[inline]
+    fn diff_index(&self, col: usize) -> usize {
+        // row − col + (n − 1) ∈ [0, 2n − 2]
+        self.values[col] - 1 + self.n() - 1 - col
+    }
+
+    fn rebuild(&mut self) {
+        self.diag_sum.iter_mut().for_each(|c| *c = 0);
+        self.diag_diff.iter_mut().for_each(|c| *c = 0);
+        self.cost = 0;
+        for col in 0..self.n() {
+            let s = self.sum_index(col);
+            let d = self.diff_index(col);
+            self.cost += u64::from(self.diag_sum[s]) + u64::from(self.diag_diff[d]);
+            self.diag_sum[s] += 1;
+            self.diag_diff[d] += 1;
+        }
+    }
+
+    /// Remove column `col`'s queen from the diagonal counters.
+    fn remove(&mut self, col: usize) {
+        let s = self.sum_index(col);
+        let d = self.diff_index(col);
+        self.diag_sum[s] -= 1;
+        self.diag_diff[d] -= 1;
+        self.cost -= u64::from(self.diag_sum[s]) + u64::from(self.diag_diff[d]);
+    }
+
+    /// Add column `col`'s queen to the diagonal counters.
+    fn add(&mut self, col: usize) {
+        let s = self.sum_index(col);
+        let d = self.diff_index(col);
+        self.cost += u64::from(self.diag_sum[s]) + u64::from(self.diag_diff[d]);
+        self.diag_sum[s] += 1;
+        self.diag_diff[d] += 1;
+    }
+
+    /// Reference O(n²) cost used by tests.
+    #[cfg(test)]
+    fn cost_from_scratch(values: &[usize]) -> u64 {
+        let n = values.len();
+        let mut cost = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dv = values[i] as i64 - values[j] as i64;
+                if dv.unsigned_abs() as usize == j - i {
+                    cost += 1;
+                }
+            }
+        }
+        cost
+    }
+}
+
+impl PermutationProblem for QueensProblem {
+    fn size(&self) -> usize {
+        self.n()
+    }
+
+    fn set_configuration(&mut self, values: &[usize]) {
+        self.values = values.to_vec();
+        self.rebuild();
+    }
+
+    fn configuration(&self) -> &[usize] {
+        &self.values
+    }
+
+    fn global_cost(&self) -> u64 {
+        self.cost
+    }
+
+    fn variable_errors(&self, out: &mut Vec<u64>) {
+        let n = self.n();
+        out.clear();
+        out.resize(n, 0);
+        for col in 0..n {
+            let s = self.sum_index(col);
+            let d = self.diff_index(col);
+            // a queen on a diagonal with k occupants participates in k − 1 conflicts
+            out[col] =
+                u64::from(self.diag_sum[s] - 1) + u64::from(self.diag_diff[d] - 1);
+        }
+    }
+
+    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
+        if i == j {
+            return self.cost;
+        }
+        self.apply_swap(i, j);
+        let c = self.cost;
+        self.apply_swap(i, j);
+        c
+    }
+
+    fn apply_swap(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        self.remove(i);
+        self.remove(j);
+        self.values.swap(i, j);
+        self.add(i);
+        self.add(j);
+    }
+
+    fn name(&self) -> &'static str {
+        "n-queens"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AsConfig;
+    use crate::engine::Engine;
+    use xrand::{default_rng, random_permutation, RandExt};
+
+    #[test]
+    fn known_solution_has_zero_cost() {
+        // A classical solution for n = 8.
+        let mut p = QueensProblem::new(8);
+        p.set_configuration(&[5, 3, 1, 7, 2, 8, 6, 4]);
+        assert_eq!(p.global_cost(), 0);
+        assert!(p.is_solution());
+    }
+
+    #[test]
+    fn identity_has_maximal_diagonal_conflicts() {
+        let p = QueensProblem::new(5);
+        // identity: all queens on the main difference-diagonal → C(5,2) = 10 conflicts
+        assert_eq!(p.global_cost(), 10);
+    }
+
+    #[test]
+    fn incremental_cost_matches_scratch_under_random_swaps() {
+        let mut rng = default_rng(3);
+        for n in [4usize, 8, 16, 33] {
+            let mut init = random_permutation(n, &mut rng);
+            init.iter_mut().for_each(|v| *v += 1);
+            let mut p = QueensProblem::new(n);
+            p.set_configuration(&init);
+            for _ in 0..200 {
+                let i = rng.index(n);
+                let j = rng.index(n);
+                p.apply_swap(i, j);
+                assert_eq!(p.global_cost(), QueensProblem::cost_from_scratch(p.configuration()));
+            }
+        }
+    }
+
+    #[test]
+    fn variable_errors_sum_is_twice_cost() {
+        let mut rng = default_rng(9);
+        let n = 20;
+        let mut init = random_permutation(n, &mut rng);
+        init.iter_mut().for_each(|v| *v += 1);
+        let mut p = QueensProblem::new(n);
+        p.set_configuration(&init);
+        let mut errs = Vec::new();
+        p.variable_errors(&mut errs);
+        assert_eq!(errs.iter().sum::<u64>(), 2 * p.global_cost());
+    }
+
+    #[test]
+    fn adaptive_search_solves_queens() {
+        for n in [8usize, 20, 50] {
+            let cfg = AsConfig::builder().use_custom_reset(false).build();
+            let mut engine = Engine::new(QueensProblem::new(n), cfg, n as u64);
+            let r = engine.solve();
+            assert!(r.is_solved(), "n = {n}");
+            assert_eq!(QueensProblem::cost_from_scratch(&r.solution.unwrap()), 0);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion bench behind Table II: Adaptive Search against the re-implemented
+//! baselines (Dialectic Search, quadratic tabu search, random-restart hill climbing)
+//! on the same instance and seed schedule.  The paper-shaped speed-up table is
+//! produced by the `table2_as_vs_ds` harness binary; this bench tracks the relative
+//! ordering on small instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use baselines::{
+    AdaptiveSearchSolver, CostasSolver, DialecticSearch, QuadraticTabuSearch,
+    RandomRestartHillClimbing, SolverBudget,
+};
+use xrand::SeedSequence;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_as_vs_baselines");
+    group.sample_size(10);
+    let n = 11usize;
+    let budget = SolverBudget::unlimited();
+
+    let mut entries: Vec<(&str, Box<dyn CostasSolver>)> = vec![
+        ("adaptive-search", Box::new(AdaptiveSearchSolver::default())),
+        ("dialectic-search", Box::new(DialecticSearch::default())),
+        ("tabu-quadratic", Box::new(QuadraticTabuSearch::default())),
+        ("random-restart-hc", Box::new(RandomRestartHillClimbing::default())),
+    ];
+
+    for (name, solver) in entries.iter_mut() {
+        let seeds = SeedSequence::new(2012);
+        group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, &n| {
+            let mut run = 0u64;
+            b.iter(|| {
+                run += 1;
+                let r = solver.solve(n, seeds.child(run).seed(), &budget);
+                assert!(r.solved);
+                black_box(r.moves)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

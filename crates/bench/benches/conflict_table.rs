@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the incremental conflict table — the data structure every
+//! solver's inner loop stands on.  Compares the O(d_max) incremental swap evaluation
+//! against the O(n·d_max) from-scratch evaluation it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use costas::{ConflictTable, CostModel};
+use xrand::{default_rng, random_permutation, RandExt};
+
+fn bench_conflict_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_table");
+    group.sample_size(40);
+    for &n in &[12usize, 16, 20, 24] {
+        let mut rng = default_rng(7);
+        let mut perm = random_permutation(n, &mut rng);
+        perm.iter_mut().for_each(|v| *v += 1);
+        let model = CostModel::optimized();
+
+        group.bench_with_input(BenchmarkId::new("incremental_swap_eval", n), &n, |b, _| {
+            let mut table = ConflictTable::new(&perm, model);
+            let mut rng = default_rng(11);
+            b.iter(|| {
+                let i = rng.index(n);
+                let j = rng.index(n);
+                black_box(table.cost_after_swap(i, j))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("scratch_cost", n), &n, |b, _| {
+            b.iter(|| black_box(model.global_cost(&perm)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("variable_errors", n), &n, |b, _| {
+            let table = ConflictTable::new(&perm, model);
+            let mut out = Vec::new();
+            b.iter(|| {
+                table.variable_errors(&mut out);
+                black_box(out.len())
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+            let mut table = ConflictTable::new(&perm, model);
+            b.iter(|| {
+                table.rebuild();
+                black_box(table.cost())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflict_table);
+criterion_main!(benches);

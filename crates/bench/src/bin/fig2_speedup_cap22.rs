@@ -1,0 +1,88 @@
+//! **Figure 2** — speed-ups for CAP 22 w.r.t. 32 cores (HA8000 and Grid'5000),
+//! log-log scale.
+//!
+//! Paper protocol: normalise each platform's average completion time to its own
+//! 32-core average and plot the speed-up against the core count; the curves hug the
+//! ideal line (slope 1 on the log-log scale).
+//!
+//! Quick mode uses CAP 16 (10 runs per point); full mode uses CAP 18 (50 runs) —
+//! the speed-up *shape* is instance-independent as long as the runtime distribution
+//! stays close to exponential, which the Figure 4 harness verifies.
+
+use bench::protocol::cell_seed;
+use bench::{banner, write_csv, HarnessOptions};
+use multiwalk::{PlatformProfile, VirtualCluster, WalkSpec};
+use runtime_stats::series::ascii_chart;
+use runtime_stats::{observed_speedups, Series, TextTable};
+
+fn main() {
+    let options = HarnessOptions::from_env();
+    banner(
+        "Figure 2 — speed-ups w.r.t. 32 cores for HA8000 / Grid'5000 Suno / Helios",
+        "log-log speed-up curves; the paper's instance is CAP 22",
+        &options,
+    );
+    let n = if options.full { 18 } else { 16 };
+    let runs = options.runs(10, 50);
+    let cores = [32usize, 64, 128, 256];
+    let spec = WalkSpec::costas(n);
+
+    let mut csv = TextTable::new(vec!["platform", "cores", "avg_s", "speedup_vs_32", "ideal"]);
+    let mut series = Vec::new();
+
+    for platform in [
+        PlatformProfile::ha8000(),
+        PlatformProfile::suno(),
+        PlatformProfile::helios(),
+    ] {
+        let cluster = VirtualCluster::new(platform.clone());
+        let mut batches: Vec<(usize, Vec<f64>)> = Vec::new();
+        for &c in &cores {
+            let sims = cluster.run_exact_many(
+                &spec,
+                c,
+                runs,
+                cell_seed(options.master_seed, n, c, 2),
+            );
+            batches.push((c, sims.iter().map(|s| s.virtual_seconds).collect()));
+            eprintln!("  [done] {} {c} cores", platform.name);
+        }
+        let points = observed_speedups(&batches);
+        println!("\n{}:", platform.name);
+        for p in &points {
+            println!(
+                "  {:>4} cores: avg {:>8.3} s   speed-up {:>6.2}   (ideal {:>4.1})",
+                p.cores, p.mean_time, p.speedup_mean, p.ideal
+            );
+            csv.add_row(vec![
+                platform.name.to_string(),
+                p.cores.to_string(),
+                format!("{:.4}", p.mean_time),
+                format!("{:.3}", p.speedup_mean),
+                format!("{:.1}", p.ideal),
+            ]);
+        }
+        series.push(Series::new(
+            platform.name,
+            points.iter().map(|p| (p.cores as f64, p.speedup_mean)).collect(),
+        ));
+    }
+
+    // Ideal line for reference.
+    series.push(Series::new(
+        "ideal",
+        cores.iter().map(|&c| (c as f64, c as f64 / 32.0)).collect(),
+    ));
+
+    let log_series: Vec<Series> = series.iter().map(|s| s.log2_log2()).collect();
+    println!("\nlog2(speed-up) vs log2(cores) — slope ≈ 1 means ideal scaling:\n");
+    println!("{}", ascii_chart(&log_series, 64, 16));
+    for s in &series {
+        if let Some(slope) = s.log2_log2().slope() {
+            println!("  {}: log-log slope = {:.3}", s.name, slope);
+        }
+    }
+
+    let path = write_csv("fig2_speedup.csv", &csv.to_csv());
+    println!("\nCSV written to {}", path.display());
+}

@@ -1,0 +1,118 @@
+//! Shared plumbing for the benchmark harness binaries.
+//!
+//! Every table/figure of the paper has its own binary under `src/bin/` (see DESIGN.md
+//! for the experiment index).  They all follow the same conventions, implemented here:
+//!
+//! * **Scale control** — by default each harness runs a *scaled-down* version of the
+//!   experiment (smaller instances and/or fewer repetitions) so the whole suite
+//!   completes in minutes on a laptop; setting `COSTAS_FULL=1` switches to the paper's
+//!   exact instance sizes and repetition counts (hours of compute).
+//!   `COSTAS_RUNS=<k>` overrides the repetition count, `COSTAS_SEED=<s>` the master
+//!   seed.
+//! * **Output** — each harness prints the paper-shaped table to stdout and writes a
+//!   CSV with the same rows under `target/experiments/` for plotting.
+
+use std::path::{Path, PathBuf};
+
+pub mod protocol;
+pub mod tables;
+
+/// Runtime options shared by every harness binary.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Run the paper-sized experiment instead of the scaled-down default.
+    pub full: bool,
+    /// Number of repetitions per cell (overrides the per-harness default when set).
+    pub runs_override: Option<usize>,
+    /// Master seed for the whole experiment.
+    pub master_seed: u64,
+}
+
+impl HarnessOptions {
+    /// Read options from the environment (`COSTAS_FULL`, `COSTAS_RUNS`, `COSTAS_SEED`).
+    pub fn from_env() -> Self {
+        let full = std::env::var("COSTAS_FULL").map(|v| v != "0").unwrap_or(false);
+        let runs_override = std::env::var("COSTAS_RUNS").ok().and_then(|v| v.parse().ok());
+        let master_seed = std::env::var("COSTAS_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x2012_C057_A5u64);
+        Self { full, runs_override, master_seed }
+    }
+
+    /// Pick the repetition count: the override when present, otherwise `full_runs` in
+    /// full mode and `quick_runs` in quick mode.
+    pub fn runs(&self, quick_runs: usize, full_runs: usize) -> usize {
+        self.runs_override.unwrap_or(if self.full { full_runs } else { quick_runs })
+    }
+
+    /// Pick an instance list: the paper's sizes in full mode, the scaled list in
+    /// quick mode.
+    pub fn sizes<'a>(&self, quick: &'a [usize], full: &'a [usize]) -> &'a [usize] {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self { full: false, runs_override: None, master_seed: 0x2012_C057_A5 }
+    }
+}
+
+/// Directory where harnesses drop their CSV output.
+pub fn experiments_dir() -> PathBuf {
+    let dir = Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Write a CSV produced by `runtime_stats::TextTable::to_csv` (or any string) next to
+/// the other experiment artefacts.  Returns the path written.
+pub fn write_csv(name: &str, contents: &str) -> PathBuf {
+    let path = experiments_dir().join(name);
+    std::fs::write(&path, contents).expect("write experiment CSV");
+    path
+}
+
+/// Print a standard harness header so every binary's output is self-describing.
+pub fn banner(experiment: &str, description: &str, options: &HarnessOptions) {
+    println!("================================================================");
+    println!("{experiment}");
+    println!("{description}");
+    println!(
+        "mode: {}   master seed: {:#x}",
+        if options.full { "FULL (paper sizes)" } else { "quick (scaled down; COSTAS_FULL=1 for paper sizes)" },
+        options.master_seed
+    );
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_sizes_selection() {
+        let quick = HarnessOptions::default();
+        assert_eq!(quick.runs(10, 100), 10);
+        assert_eq!(quick.sizes(&[14, 15], &[18, 19, 20]), &[14, 15]);
+        let full = HarnessOptions { full: true, ..Default::default() };
+        assert_eq!(full.runs(10, 100), 100);
+        assert_eq!(full.sizes(&[14, 15], &[18, 19, 20]), &[18, 19, 20]);
+        let overridden = HarnessOptions { runs_override: Some(3), ..Default::default() };
+        assert_eq!(overridden.runs(10, 100), 3);
+    }
+
+    #[test]
+    fn csv_is_written_to_experiments_dir() {
+        let path = write_csv("unit_test_artifact.csv", "a,b\n1,2\n");
+        assert!(path.exists());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("a,b"));
+        std::fs::remove_file(path).ok();
+    }
+}

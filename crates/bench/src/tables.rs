@@ -1,0 +1,169 @@
+//! Shared driver for the parallel-execution tables (Tables III, IV and V).
+//!
+//! All three tables have the same structure: rows are instance sizes, columns are
+//! core counts, and each cell reports avg / median / min / max completion time over a
+//! batch of independent multi-walk jobs on one platform.  Only the platform profile,
+//! the size list and the core-count list differ, so one driver serves all three
+//! harness binaries.
+
+use multiwalk::{PlatformProfile, VirtualCluster, WalkSpec};
+use runtime_stats::{table::fmt_seconds, TextTable};
+
+use crate::protocol::{
+    cell_seed, iteration_samples, mode_for_cores, parallel_cell, sequential_batch, CellMode,
+    CellSummary,
+};
+use crate::HarnessOptions;
+
+/// Configuration of one parallel table run.
+#[derive(Debug, Clone)]
+pub struct ParallelTableSpec {
+    /// Platform being simulated.
+    pub platform: PlatformProfile,
+    /// Instance sizes (rows).
+    pub sizes: Vec<usize>,
+    /// Core counts (columns).
+    pub cores: Vec<usize>,
+    /// Jobs per cell (the paper uses 50).
+    pub runs: usize,
+    /// Largest core count simulated exactly; beyond it the sampled mode is used.
+    pub exact_core_limit: usize,
+    /// How many sequential runs feed the empirical sample for the sampled mode.
+    pub sample_runs: usize,
+}
+
+/// The rendered outputs of one parallel table.
+pub struct ParallelTableOutput {
+    /// Human-readable table (paper layout: one block of rows per size).
+    pub table: TextTable,
+    /// Machine-readable rows.
+    pub csv: TextTable,
+    /// Per-(size, cores) summaries, for follow-up analyses (speed-up figures).
+    pub cells: Vec<(usize, CellSummary)>,
+}
+
+/// Run the whole table.
+pub fn run_parallel_table(spec: &ParallelTableSpec, options: &HarnessOptions) -> ParallelTableOutput {
+    let cluster = VirtualCluster::new(spec.platform.clone())
+        .with_reference_rate(calibrated_rate(&spec.sizes, options));
+
+    let mut table = TextTable::new(
+        std::iter::once("size / stat".to_string())
+            .chain(spec.cores.iter().map(|c| format!("{c} cores")))
+            .collect::<Vec<_>>(),
+    );
+    let mut csv = TextTable::new(vec![
+        "size", "cores", "mode", "runs", "avg_s", "med_s", "min_s", "max_s", "avg_iters",
+    ]);
+    let mut cells = Vec::new();
+
+    for &n in &spec.sizes {
+        let walk = WalkSpec::costas(n);
+        // Empirical sample for the sampled cells of this row (only gathered when some
+        // column actually needs it).
+        let needs_sample = spec.cores.iter().any(|&c| {
+            mode_for_cores(c, spec.exact_core_limit) == CellMode::Sampled
+        });
+        let samples: Vec<u64> = if needs_sample {
+            let batch = sequential_batch(n, spec.sample_runs, cell_seed(options.master_seed, n, 0, 7));
+            iteration_samples(&batch)
+        } else {
+            Vec::new()
+        };
+
+        let mut row_cells: Vec<CellSummary> = Vec::new();
+        for &cores in &spec.cores {
+            let mode = mode_for_cores(cores, spec.exact_core_limit);
+            let summary = parallel_cell(
+                &cluster,
+                &walk,
+                cores,
+                spec.runs,
+                cell_seed(options.master_seed, n, cores, 1),
+                mode,
+                &samples,
+            );
+            csv.add_row(vec![
+                n.to_string(),
+                cores.to_string(),
+                format!("{mode:?}"),
+                spec.runs.to_string(),
+                format!("{:.4}", summary.seconds.mean),
+                format!("{:.4}", summary.seconds.median),
+                format!("{:.4}", summary.seconds.min),
+                format!("{:.4}", summary.seconds.max),
+                format!("{:.1}", summary.iterations.mean),
+            ]);
+            row_cells.push(summary);
+            eprintln!("  [done] n = {n}, {cores} cores ({mode:?})");
+        }
+
+        for (label, pick) in [
+            ("avg", 0usize),
+            ("med", 1),
+            ("min", 2),
+            ("max", 3),
+        ] {
+            let mut cells_text = vec![if pick == 0 {
+                format!("{n}  {label}")
+            } else {
+                format!("    {label}")
+            }];
+            for summary in &row_cells {
+                let v = match pick {
+                    0 => summary.seconds.mean,
+                    1 => summary.seconds.median,
+                    2 => summary.seconds.min,
+                    _ => summary.seconds.max,
+                };
+                cells_text.push(fmt_seconds(v));
+            }
+            table.add_row(cells_text);
+        }
+        for (cores, summary) in spec.cores.iter().zip(row_cells.into_iter()) {
+            let _ = cores;
+            cells.push((n, summary));
+        }
+    }
+
+    ParallelTableOutput { table, csv, cells }
+}
+
+/// Calibrate the reference iteration rate once, on the smallest size of the table
+/// (the rate is nearly size-independent because the per-iteration work is O(n·d_max)
+/// for every size in a row block; using one size keeps the calibration cheap).
+fn calibrated_rate(sizes: &[usize], options: &HarnessOptions) -> f64 {
+    let n = *sizes.iter().min().expect("at least one size");
+    let spec = WalkSpec::costas(n);
+    let budget = if options.full { 200_000 } else { 50_000 };
+    VirtualCluster::calibrate(&spec, budget, options.master_seed ^ 0xCA11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_parallel_table_runs_end_to_end() {
+        let spec = ParallelTableSpec {
+            platform: PlatformProfile::local(),
+            sizes: vec![9, 10],
+            cores: vec![1, 4, 64],
+            runs: 3,
+            exact_core_limit: 8,
+            sample_runs: 6,
+        };
+        let options = HarnessOptions::default();
+        let out = run_parallel_table(&spec, &options);
+        // 2 sizes × 4 stat rows
+        assert_eq!(out.table.row_count(), 8);
+        // 2 sizes × 3 core counts
+        assert_eq!(out.csv.row_count(), 6);
+        assert_eq!(out.cells.len(), 6);
+        // the 64-core cell used the sampled mode
+        assert!(out
+            .cells
+            .iter()
+            .any(|(_, c)| c.cores == 64 && c.mode == CellMode::Sampled));
+    }
+}

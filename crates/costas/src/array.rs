@@ -1,0 +1,308 @@
+//! Permutation and Costas-array value types.
+//!
+//! The CAP is modelled as a permutation problem (paper §II, §IV-A): an array of `n`
+//! variables `(V₁,…,Vₙ)` forming a permutation of `{1,…,n}`, where `Vᵢ = j` iff there
+//! is a mark at column `i`, row `j`.  Two types capture the two levels of guarantee:
+//!
+//! * [`Permutation`] — checked to be a permutation of `1..=n` (the implicit
+//!   `alldifferent` of the model) but *not necessarily* a Costas array; this is the
+//!   type solvers manipulate.
+//! * [`CostasArray`] — additionally verified to satisfy the Costas property; this is
+//!   what solvers return.
+
+use std::fmt;
+
+use crate::check::is_costas_permutation;
+
+/// Error returned when a vector of values is not a valid permutation of `1..=n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermutationError {
+    /// The vector was empty.
+    Empty,
+    /// A value was outside `1..=n`.
+    OutOfRange { index: usize, value: usize, n: usize },
+    /// A value occurred more than once.
+    Duplicate { value: usize },
+    /// The candidate permutation is valid but the Costas property does not hold
+    /// (only produced by [`CostasArray::try_new`]).
+    NotCostas,
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermutationError::Empty => write!(f, "empty permutation"),
+            PermutationError::OutOfRange { index, value, n } => {
+                write!(f, "value {value} at index {index} is outside 1..={n}")
+            }
+            PermutationError::Duplicate { value } => write!(f, "value {value} occurs twice"),
+            PermutationError::NotCostas => write!(f, "permutation is not a Costas array"),
+        }
+    }
+}
+
+impl std::error::Error for PermutationError {}
+
+/// A permutation of `1..=n`, the configuration space of every CAP solver.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    values: Vec<usize>,
+}
+
+impl Permutation {
+    /// Validate and wrap a vector of 1-based values.
+    pub fn try_new(values: Vec<usize>) -> Result<Self, PermutationError> {
+        Self::validate(&values)?;
+        Ok(Self { values })
+    }
+
+    /// The identity permutation `1, 2, …, n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "permutation order must be positive");
+        Self { values: (1..=n).collect() }
+    }
+
+    /// Validate that `values` is a permutation of `1..=n`.
+    pub fn validate(values: &[usize]) -> Result<(), PermutationError> {
+        let n = values.len();
+        if n == 0 {
+            return Err(PermutationError::Empty);
+        }
+        let mut seen = vec![false; n + 1];
+        for (index, &value) in values.iter().enumerate() {
+            if value == 0 || value > n {
+                return Err(PermutationError::OutOfRange { index, value, n });
+            }
+            if seen[value] {
+                return Err(PermutationError::Duplicate { value });
+            }
+            seen[value] = true;
+        }
+        Ok(())
+    }
+
+    /// Order of the permutation.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false: a [`Permutation`] has at least one element.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying 1-based values.
+    pub fn values(&self) -> &[usize] {
+        &self.values
+    }
+
+    /// Consume and return the underlying vector.
+    pub fn into_values(self) -> Vec<usize> {
+        self.values
+    }
+
+    /// Swap the values at two positions (stays a permutation by construction).
+    pub fn swap(&mut self, i: usize, j: usize) {
+        self.values.swap(i, j);
+    }
+
+    /// Value at column `i` (0-based position, 1-based value).
+    pub fn value_at(&self, i: usize) -> usize {
+        self.values[i]
+    }
+
+    /// The inverse permutation: `inv[v-1] = i` iff `values[i] = v` (both 0-based
+    /// output positions, 1-based values as input indices shifted down by one).
+    pub fn inverse(&self) -> Permutation {
+        let n = self.len();
+        let mut inv = vec![0usize; n];
+        for (i, &v) in self.values.iter().enumerate() {
+            inv[v - 1] = i + 1;
+        }
+        Permutation { values: inv }
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl AsRef<[usize]> for Permutation {
+    fn as_ref(&self) -> &[usize] {
+        &self.values
+    }
+}
+
+/// A verified Costas array: a permutation whose difference triangle has no repeated
+/// entry in any row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CostasArray {
+    perm: Permutation,
+}
+
+impl CostasArray {
+    /// Validate both the permutation structure and the Costas property.
+    pub fn try_new(values: Vec<usize>) -> Result<Self, PermutationError> {
+        let perm = Permutation::try_new(values)?;
+        if !is_costas_permutation(perm.values()) {
+            return Err(PermutationError::NotCostas);
+        }
+        Ok(Self { perm })
+    }
+
+    /// Wrap a permutation already known (and re-checked here) to be Costas.
+    pub fn from_permutation(perm: Permutation) -> Result<Self, PermutationError> {
+        if !is_costas_permutation(perm.values()) {
+            return Err(PermutationError::NotCostas);
+        }
+        Ok(Self { perm })
+    }
+
+    /// Order of the array.
+    pub fn order(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// The underlying permutation values (1-based).
+    pub fn values(&self) -> &[usize] {
+        self.perm.values()
+    }
+
+    /// Borrow as a [`Permutation`].
+    pub fn as_permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Consume into the underlying permutation.
+    pub fn into_permutation(self) -> Permutation {
+        self.perm
+    }
+
+    /// Render the grid the way the paper draws it: rows from top (`n`) to bottom (`1`),
+    /// one `X` per column.
+    pub fn to_grid_string(&self) -> String {
+        let n = self.order();
+        let mut out = String::with_capacity(n * (2 * n + 1));
+        for row in (1..=n).rev() {
+            for col in 0..n {
+                out.push(if self.perm.value_at(col) == row { 'X' } else { '.' });
+                if col + 1 < n {
+                    out.push(' ');
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for CostasArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.perm)
+    }
+}
+
+impl AsRef<[usize]> for CostasArray {
+    fn as_ref(&self) -> &[usize] {
+        self.perm.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_permutation_accepted() {
+        let p = Permutation::try_new(vec![3, 1, 2]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.values(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Permutation::try_new(vec![]), Err(PermutationError::Empty));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(
+            Permutation::try_new(vec![1, 4, 2]),
+            Err(PermutationError::OutOfRange { index: 1, value: 4, n: 3 })
+        );
+        assert_eq!(
+            Permutation::try_new(vec![0, 1]),
+            Err(PermutationError::OutOfRange { index: 0, value: 0, n: 2 })
+        );
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert_eq!(
+            Permutation::try_new(vec![2, 2, 1]),
+            Err(PermutationError::Duplicate { value: 2 })
+        );
+    }
+
+    #[test]
+    fn identity_and_inverse() {
+        let id = Permutation::identity(5);
+        assert_eq!(id.values(), &[1, 2, 3, 4, 5]);
+        let p = Permutation::try_new(vec![3, 4, 2, 1, 5]).unwrap();
+        let inv = p.inverse();
+        // p[0] = 3 → inv[2] = 1 (1-based position)
+        assert_eq!(inv.values(), &[4, 3, 1, 2, 5]);
+        assert_eq!(inv.inverse(), p);
+    }
+
+    #[test]
+    fn swap_keeps_permutation() {
+        let mut p = Permutation::identity(4);
+        p.swap(0, 3);
+        assert!(Permutation::validate(p.values()).is_ok());
+        assert_eq!(p.values(), &[4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn costas_constructor_rejects_non_costas() {
+        assert_eq!(
+            CostasArray::try_new(vec![1, 2, 3]),
+            Err(PermutationError::NotCostas)
+        );
+        assert!(CostasArray::try_new(vec![3, 4, 2, 1, 5]).is_ok());
+    }
+
+    #[test]
+    fn grid_rendering_matches_marks() {
+        let a = CostasArray::try_new(vec![2, 1]).unwrap();
+        // order 2: marks at (col 0, row 2) and (col 1, row 1)
+        assert_eq!(a.to_grid_string(), "X .\n. X\n");
+    }
+
+    #[test]
+    fn display_formats_as_list() {
+        let a = CostasArray::try_new(vec![3, 4, 2, 1, 5]).unwrap();
+        assert_eq!(a.to_string(), "[3, 4, 2, 1, 5]");
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = PermutationError::OutOfRange { index: 1, value: 9, n: 3 };
+        assert!(e.to_string().contains("outside"));
+        assert!(PermutationError::Empty.to_string().contains("empty"));
+        assert!(PermutationError::Duplicate { value: 2 }.to_string().contains("twice"));
+        assert!(PermutationError::NotCostas.to_string().contains("Costas"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Standalone validity predicates for the Costas property.
+//!
+//! These run in O(n²) time and O(n²) scratch space and exist for three reasons:
+//! verifying solver output, serving as the reference ("obviously correct") oracle the
+//! property tests compare the incremental machinery against, and early termination
+//! inside the backtracking enumerator.
+
+use crate::array::{CostasArray, Permutation};
+
+/// Is this permutation (1-based values) a Costas array?
+///
+/// Works on any slice; returns `true` for length 0 and 1 (vacuously Costas, although
+/// [`Permutation`] itself refuses length 0).
+pub fn is_costas_permutation(values: &[usize]) -> bool {
+    let n = values.len();
+    if n < 2 {
+        return true;
+    }
+    // seen[d - 1][diff + (n - 1)] — one row of flags per distance.
+    let width = 2 * n - 1;
+    let mut seen = vec![false; (n - 1) * width];
+    for d in 1..n {
+        let base = (d - 1) * width;
+        for i in 0..(n - d) {
+            let diff = values[i + d] as i64 - values[i] as i64;
+            let idx = base + (diff + (n as i64 - 1)) as usize;
+            if seen[idx] {
+                return false;
+            }
+            seen[idx] = true;
+        }
+    }
+    true
+}
+
+/// Is this checked permutation a Costas array?
+pub fn is_costas_perm(p: &Permutation) -> bool {
+    is_costas_permutation(p.values())
+}
+
+/// Convenience overload for an already-verified [`CostasArray`] (always true; present
+/// so generic code can take `impl AsRef<[usize]>`).
+pub fn is_costas<A: AsRef<[usize]>>(a: &A) -> bool {
+    is_costas_permutation(a.as_ref())
+}
+
+/// Count the number of repeated-difference violations, i.e. the unweighted global cost
+/// of the paper's basic model (`ERR(d) = 1`) over the *full* triangle.
+pub fn violation_count(values: &[usize]) -> usize {
+    let n = values.len();
+    if n < 2 {
+        return 0;
+    }
+    let width = 2 * n - 1;
+    let mut count_table = vec![0u32; (n - 1) * width];
+    let mut violations = 0;
+    for d in 1..n {
+        let base = (d - 1) * width;
+        for i in 0..(n - d) {
+            let diff = values[i + d] as i64 - values[i] as i64;
+            let idx = base + (diff + (n as i64 - 1)) as usize;
+            if count_table[idx] > 0 {
+                violations += 1;
+            }
+            count_table[idx] += 1;
+        }
+    }
+    violations
+}
+
+/// Check whether extending a partial permutation prefix by one value keeps all rows of
+/// the difference triangle repeat-free *restricted to the prefix*.  Used by the
+/// backtracking enumerator: when placing `values[k]`, only differences ending at
+/// position `k` are new, so only those need checking against the earlier ones.
+pub fn prefix_extension_ok(values: &[usize], k: usize) -> bool {
+    // values[0..=k] is the prefix; check the new differences (i, k) for all i < k
+    // against existing differences in the same row.
+    let n_prefix = k + 1;
+    for d in 1..n_prefix {
+        let new_diff = values[k] as i64 - values[k - d] as i64;
+        // compare against all earlier differences at distance d within the prefix
+        for i in 0..(n_prefix - d - 1) {
+            let old_diff = values[i + d] as i64 - values[i] as i64;
+            if old_diff == new_diff {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Verify a [`CostasArray`] against the naive oracle (re-checks the invariant; used by
+/// integration tests as a belt-and-braces assertion on solver output).
+pub fn verify(array: &CostasArray) -> bool {
+    is_costas_permutation(array.values())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KNOWN_COSTAS: &[&[usize]] = &[
+        &[1],
+        &[1, 2],
+        &[2, 1],
+        &[1, 3, 2],
+        &[3, 4, 2, 1, 5],
+        &[2, 4, 8, 5, 10, 9, 7, 3, 6, 1], // order 10: Welch construction, p = 11, g = 2
+
+    ];
+
+    #[test]
+    fn known_costas_arrays_pass() {
+        for &v in KNOWN_COSTAS {
+            assert!(is_costas_permutation(v), "{v:?} should be Costas");
+            assert_eq!(violation_count(v), 0);
+        }
+    }
+
+    #[test]
+    fn non_costas_examples_fail_with_positive_violations() {
+        let bad: &[&[usize]] = &[&[1, 2, 3], &[1, 2, 3, 4], &[2, 4, 6, 1, 3, 5]];
+        for &v in bad {
+            assert!(!is_costas_permutation(v), "{v:?}");
+            assert!(violation_count(v) > 0, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn trivial_sizes_are_costas() {
+        assert!(is_costas_permutation(&[]));
+        assert!(is_costas_permutation(&[1]));
+        assert!(is_costas_permutation(&[1, 2]));
+        assert!(is_costas_permutation(&[2, 1]));
+        assert_eq!(violation_count(&[]), 0);
+        assert_eq!(violation_count(&[1]), 0);
+    }
+
+    #[test]
+    fn violation_count_matches_triangle_total_errors() {
+        use crate::triangle::DifferenceTriangle;
+        let cases: &[&[usize]] = &[
+            &[1, 2, 3, 4, 5],
+            &[2, 4, 6, 1, 3, 5],
+            &[5, 4, 3, 2, 1],
+            &[3, 4, 2, 1, 5],
+            &[1, 4, 2, 3],
+        ];
+        for &v in cases {
+            assert_eq!(
+                violation_count(v),
+                DifferenceTriangle::new(v).total_errors(),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_extension_detects_conflicts() {
+        // prefix [1, 2, 3]: placing 3 at k = 2 creates difference 1 at distance 1 twice
+        let v = [1, 2, 3];
+        assert!(prefix_extension_ok(&v, 1));
+        assert!(!prefix_extension_ok(&v, 2));
+        // paper example built prefix by prefix never conflicts
+        let good = [3, 4, 2, 1, 5];
+        for k in 0..good.len() {
+            assert!(prefix_extension_ok(&good, k), "prefix ending at {k}");
+        }
+    }
+
+    #[test]
+    fn verify_accepts_constructed_array() {
+        let a = CostasArray::try_new(vec![3, 4, 2, 1, 5]).unwrap();
+        assert!(verify(&a));
+        assert!(is_costas_perm(a.as_permutation()));
+    }
+}

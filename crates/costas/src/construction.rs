@@ -1,0 +1,310 @@
+//! Algebraic constructions of Costas arrays.
+//!
+//! The paper's historical context (§II): in the 1980s Welch and Golomb gave algebraic
+//! constructions producing Costas arrays for infinitely many orders, but no
+//! construction covers every order (32 and 33 are still open).  This module implements
+//!
+//! * the **exponential Welch construction** `W₁(p, g)`: for a prime `p` and a
+//!   primitive root `g` modulo `p`, the sequence `g¹, g², …, g^{p−1} (mod p)` is a
+//!   Costas permutation of order `p − 1`, and every cyclic shift of the exponent is
+//!   one too;
+//! * the **Golomb construction** `G₂(q, α, β)` restricted to prime fields: for a prime
+//!   `q` and primitive roots `α, β` of GF(q), the permutation of order `q − 2` defined
+//!   by `α^i + β^{σ(i)} = 1 (mod q)` is a Costas array.
+//!
+//! These serve as test oracles (they produce guaranteed Costas arrays of non-trivial
+//! orders without any search) and as realistic inputs for the examples.
+
+use crate::array::CostasArray;
+
+/// Errors from the constructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstructionError {
+    /// The modulus must be a prime ≥ 3.
+    NotPrime(usize),
+    /// The requested generator is not a primitive root of the modulus.
+    NotPrimitiveRoot { modulus: usize, generator: usize },
+    /// No Costas array can be produced for this order by this construction
+    /// (e.g. Welch needs `order + 1` prime).
+    UnsupportedOrder(usize),
+}
+
+impl std::fmt::Display for ConstructionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstructionError::NotPrime(p) => write!(f, "{p} is not a prime ≥ 3"),
+            ConstructionError::NotPrimitiveRoot { modulus, generator } => {
+                write!(f, "{generator} is not a primitive root modulo {modulus}")
+            }
+            ConstructionError::UnsupportedOrder(n) => {
+                write!(f, "no construction available for order {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstructionError {}
+
+/// Deterministic primality test by trial division (orders involved are tiny).
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Modular exponentiation `base^exp mod m`.
+fn pow_mod(base: usize, mut exp: usize, m: usize) -> usize {
+    let mut result = 1u64;
+    let mut b = (base % m) as u64;
+    let m64 = m as u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * b % m64;
+        }
+        b = b * b % m64;
+        exp >>= 1;
+    }
+    result as usize
+}
+
+/// Distinct prime factors of `n`.
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut factors = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            factors.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// Is `g` a primitive root modulo the prime `p`?
+pub fn is_primitive_root(g: usize, p: usize) -> bool {
+    if !is_prime(p) || p < 3 || g % p == 0 {
+        return false;
+    }
+    let order = p - 1;
+    prime_factors(order)
+        .into_iter()
+        .all(|f| pow_mod(g, order / f, p) != 1)
+}
+
+/// The smallest primitive root modulo the prime `p`.
+pub fn smallest_primitive_root(p: usize) -> Result<usize, ConstructionError> {
+    if !is_prime(p) || p < 3 {
+        return Err(ConstructionError::NotPrime(p));
+    }
+    (2..p)
+        .find(|&g| is_primitive_root(g, p))
+        .ok_or(ConstructionError::NotPrime(p))
+}
+
+/// Exponential Welch construction `W₁(p, g, shift)`: order `p − 1`.
+///
+/// Column `i` (1-based) receives the value `g^{i + shift} mod p`.  Any `shift` in
+/// `0..p−1` yields a Costas array; `shift = 0` is the classical form.
+pub fn welch_with(p: usize, g: usize, shift: usize) -> Result<CostasArray, ConstructionError> {
+    if !is_prime(p) || p < 3 {
+        return Err(ConstructionError::NotPrime(p));
+    }
+    if !is_primitive_root(g, p) {
+        return Err(ConstructionError::NotPrimitiveRoot { modulus: p, generator: g });
+    }
+    let n = p - 1;
+    let values: Vec<usize> = (1..=n).map(|i| pow_mod(g, i + shift, p)).collect();
+    CostasArray::try_new(values).map_err(|_| ConstructionError::UnsupportedOrder(n))
+}
+
+/// Welch construction for a given *order* `n` (requires `n + 1` prime); uses the
+/// smallest primitive root and zero shift.
+pub fn welch_construction(n: usize) -> Result<CostasArray, ConstructionError> {
+    let p = n + 1;
+    if !is_prime(p) || p < 3 {
+        return Err(ConstructionError::UnsupportedOrder(n));
+    }
+    let g = smallest_primitive_root(p)?;
+    welch_with(p, g, 0)
+}
+
+/// Golomb construction `G₂(q, α, β)` over the prime field GF(q): order `q − 2`.
+///
+/// For each `i` in `1..=q−2` the value `j` is the unique exponent with
+/// `α^i + β^j ≡ 1 (mod q)`.
+pub fn golomb_with(q: usize, alpha: usize, beta: usize) -> Result<CostasArray, ConstructionError> {
+    if !is_prime(q) || q < 5 {
+        return Err(ConstructionError::NotPrime(q));
+    }
+    for &g in &[alpha, beta] {
+        if !is_primitive_root(g, q) {
+            return Err(ConstructionError::NotPrimitiveRoot { modulus: q, generator: g });
+        }
+    }
+    let n = q - 2;
+    // discrete logarithm table for beta: log_beta[x] = j with beta^j = x (mod q)
+    let mut log_beta = vec![0usize; q];
+    let mut x = 1usize;
+    for j in 1..q {
+        x = x * beta % q;
+        log_beta[x] = j;
+    }
+    let mut values = Vec::with_capacity(n);
+    let mut alpha_pow = 1usize;
+    for _i in 1..=n {
+        alpha_pow = alpha_pow * alpha % q;
+        // need beta^j = 1 - alpha^i (mod q); alpha^i != 1 because i < q-1
+        let rhs = (1 + q - alpha_pow) % q;
+        debug_assert!(rhs != 0);
+        let j = log_beta[rhs];
+        debug_assert!((1..=n + 1).contains(&j));
+        values.push(j);
+    }
+    CostasArray::try_new(values).map_err(|_| ConstructionError::UnsupportedOrder(n))
+}
+
+/// Golomb construction for a given *order* `n` (requires `n + 2` prime); uses the
+/// smallest primitive root for both generators.
+pub fn golomb_construction(n: usize) -> Result<CostasArray, ConstructionError> {
+    let q = n + 2;
+    if !is_prime(q) || q < 5 {
+        return Err(ConstructionError::UnsupportedOrder(n));
+    }
+    let g = smallest_primitive_root(q)?;
+    golomb_with(q, g, g)
+}
+
+/// Try every implemented construction for order `n`, in order of preference.
+pub fn any_construction(n: usize) -> Result<CostasArray, ConstructionError> {
+    welch_construction(n)
+        .or_else(|_| golomb_construction(n))
+        .map_err(|_| ConstructionError::UnsupportedOrder(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::is_costas;
+
+    #[test]
+    fn primality_basics() {
+        let primes = [2usize, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31];
+        let composites = [0usize, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 33];
+        for p in primes {
+            assert!(is_prime(p), "{p}");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn primitive_roots_of_small_primes() {
+        // 2 is a primitive root of 11 and 13; 3 is one of 7; 4 is never one (square)
+        assert!(is_primitive_root(2, 11));
+        assert!(is_primitive_root(2, 13));
+        assert!(is_primitive_root(3, 7));
+        assert!(!is_primitive_root(4, 11));
+        assert!(!is_primitive_root(3, 11)); // 3^5 = 243 = 1 mod 11
+        assert_eq!(smallest_primitive_root(7).unwrap(), 3);
+        assert_eq!(smallest_primitive_root(11).unwrap(), 2);
+    }
+
+    #[test]
+    fn welch_produces_costas_arrays() {
+        // orders p-1 for primes p
+        for p in [3usize, 5, 7, 11, 13, 17, 19, 23, 29, 31] {
+            let a = welch_construction(p - 1).expect("welch should work");
+            assert_eq!(a.order(), p - 1);
+            assert!(is_costas(&a), "welch order {} failed", p - 1);
+        }
+    }
+
+    #[test]
+    fn welch_shifts_are_also_costas() {
+        let p = 13;
+        let g = smallest_primitive_root(p).unwrap();
+        for shift in 0..(p - 1) {
+            let a = welch_with(p, g, shift).expect("shifted welch");
+            assert!(is_costas(&a), "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn welch_rejects_bad_inputs() {
+        assert_eq!(welch_construction(9), Err(ConstructionError::UnsupportedOrder(9)));
+        assert!(matches!(welch_with(9, 2, 0), Err(ConstructionError::NotPrime(9))));
+        assert!(matches!(
+            welch_with(11, 3, 0),
+            Err(ConstructionError::NotPrimitiveRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn golomb_produces_costas_arrays() {
+        // orders q-2 for primes q
+        for q in [5usize, 7, 11, 13, 17, 19, 23, 29, 31] {
+            let a = golomb_construction(q - 2).expect("golomb should work");
+            assert_eq!(a.order(), q - 2);
+            assert!(is_costas(&a), "golomb order {} failed", q - 2);
+        }
+    }
+
+    #[test]
+    fn golomb_with_distinct_generators() {
+        // q = 13 has primitive roots 2, 6, 7, 11
+        for (a, b) in [(2usize, 6usize), (2, 7), (6, 11), (7, 7)] {
+            let arr = golomb_with(13, a, b).expect("golomb_with");
+            assert!(is_costas(&arr), "alpha={a} beta={b}");
+            assert_eq!(arr.order(), 11);
+        }
+    }
+
+    #[test]
+    fn golomb_rejects_bad_inputs() {
+        assert!(matches!(golomb_with(12, 2, 2), Err(ConstructionError::NotPrime(12))));
+        assert!(matches!(
+            golomb_with(13, 3, 2),
+            Err(ConstructionError::NotPrimitiveRoot { .. })
+        ));
+        assert_eq!(golomb_construction(20), Err(ConstructionError::UnsupportedOrder(20)));
+    }
+
+    #[test]
+    fn any_construction_covers_welch_and_golomb_orders() {
+        // order 10 = 11-1 (Welch), order 11 = 13-2 (Golomb), order 12 = 13-1 (Welch)
+        for n in [10usize, 11, 12, 16, 17, 18, 21, 22] {
+            let a = any_construction(n).expect("some construction");
+            assert_eq!(a.order(), n);
+            assert!(is_costas(&a));
+        }
+        // order 13: 14 not prime, 15 not prime → no construction here
+        assert!(any_construction(13).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ConstructionError::NotPrime(9).to_string().contains("prime"));
+        assert!(ConstructionError::UnsupportedOrder(13).to_string().contains("13"));
+        assert!(ConstructionError::NotPrimitiveRoot { modulus: 11, generator: 3 }
+            .to_string()
+            .contains("primitive root"));
+    }
+}

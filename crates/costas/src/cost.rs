@@ -1,0 +1,549 @@
+//! The paper's error model and the incremental conflict table.
+//!
+//! §IV-A/§IV-B of the paper define how the CAP is scored inside Adaptive Search:
+//!
+//! * Each row `d` of the difference triangle is scanned; every difference value that
+//!   has already been encountered in the same row adds `ERR(d)` to the global cost and
+//!   to the per-variable cost of both endpoints of the offending pair.
+//! * The basic model uses `ERR(d) = 1`; the optimised model uses `ERR(d) = n² − d²`,
+//!   penalising more heavily the errors in the first rows (which contain more
+//!   differences) — worth ≈17 % of runtime in the paper.
+//! * Chang's remark allows checking only the rows `d ≤ ⌊(n−1)/2⌋` — worth ≈30 %.
+//!
+//! Both optimisations are configurable through [`CostModel`], so the ablation benches
+//! can turn each off independently.
+//!
+//! [`ConflictTable`] maintains, for the current permutation, a per-row histogram of
+//! difference values.  From the histogram the weighted global cost is updated in
+//! O(rows-to-check) per swap instead of O(n²) — this is the data structure that makes
+//! the inner loop of every local-search solver in this workspace fast.
+
+use crate::array::Permutation;
+
+/// Weighting function `ERR(d)` applied to an error at distance `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrWeight {
+    /// `ERR(d) = 1` — the basic model (just counts conflicts).
+    Unit,
+    /// `ERR(d) = n² − d²` — the paper's optimised weighting (§IV-B).
+    #[default]
+    Quadratic,
+}
+
+impl ErrWeight {
+    /// Evaluate the weight for a given order and distance.
+    #[inline]
+    pub fn weight(self, n: usize, d: usize) -> u64 {
+        match self {
+            ErrWeight::Unit => 1,
+            ErrWeight::Quadratic => (n * n - d * d) as u64,
+        }
+    }
+}
+
+/// Which rows of the difference triangle are scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowSpan {
+    /// All rows `d = 1 … n − 1`.
+    Full,
+    /// Only `d = 1 … ⌊(n−1)/2⌋`, valid by Chang's remark (§IV-B) — a permutation with
+    /// no repeat in the first half of the triangle is already a Costas array.
+    #[default]
+    ChangHalf,
+}
+
+impl RowSpan {
+    /// The largest distance scored for order `n`.
+    #[inline]
+    pub fn max_distance(self, n: usize) -> usize {
+        match self {
+            RowSpan::Full => n.saturating_sub(1),
+            RowSpan::ChangHalf => {
+                if n <= 1 {
+                    0
+                } else {
+                    // Chang's bound: d ≤ ⌊(n−1)/2⌋, but never below 1 for n ≥ 2 so the
+                    // cost function still distinguishes configurations at tiny orders.
+                    ((n - 1) / 2).max(1)
+                }
+            }
+        }
+    }
+}
+
+/// Full description of the scoring model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostModel {
+    /// Error weighting per distance.
+    pub weight: ErrWeight,
+    /// Which rows are scored.
+    pub span: RowSpan,
+}
+
+impl CostModel {
+    /// The paper's optimised model: quadratic weights over the Chang half-triangle.
+    pub fn optimized() -> Self {
+        Self { weight: ErrWeight::Quadratic, span: RowSpan::ChangHalf }
+    }
+
+    /// The paper's basic model: unit weights over the full triangle.
+    pub fn basic() -> Self {
+        Self { weight: ErrWeight::Unit, span: RowSpan::Full }
+    }
+
+    /// Largest scored distance for order `n`.
+    pub fn max_distance(&self, n: usize) -> usize {
+        self.span.max_distance(n)
+    }
+
+    /// Weight of an error at distance `d` for order `n`.
+    pub fn weight_at(&self, n: usize, d: usize) -> u64 {
+        self.weight.weight(n, d)
+    }
+
+    /// Compute the global cost of a permutation from scratch (reference
+    /// implementation, O(n²); the solvers use [`ConflictTable`] instead).
+    pub fn global_cost(&self, values: &[usize]) -> u64 {
+        let n = values.len();
+        if n < 2 {
+            return 0;
+        }
+        let width = 2 * n - 1;
+        let dmax = self.max_distance(n);
+        let mut counts = vec![0u32; dmax * width];
+        let mut cost = 0u64;
+        for d in 1..=dmax {
+            let base = (d - 1) * width;
+            let w = self.weight_at(n, d);
+            for i in 0..(n - d) {
+                let diff = values[i + d] as i64 - values[i] as i64;
+                let idx = base + (diff + (n as i64 - 1)) as usize;
+                if counts[idx] > 0 {
+                    cost += w;
+                }
+                counts[idx] += 1;
+            }
+        }
+        cost
+    }
+
+    /// Compute the per-variable errors of a permutation from scratch.
+    ///
+    /// Following the paper: scanning each row left to right, when a pair `(Vᵢ, Vᵢ₊d)`
+    /// has a difference already encountered in the row, both `Vᵢ` and `Vᵢ₊d` are
+    /// charged `ERR(d)`.
+    pub fn variable_errors(&self, values: &[usize], out: &mut Vec<u64>) {
+        let n = values.len();
+        out.clear();
+        out.resize(n, 0);
+        if n < 2 {
+            return;
+        }
+        let width = 2 * n - 1;
+        let dmax = self.max_distance(n);
+        let mut counts = vec![0u32; width];
+        for d in 1..=dmax {
+            counts.iter_mut().for_each(|c| *c = 0);
+            let w = self.weight_at(n, d);
+            for i in 0..(n - d) {
+                let diff = values[i + d] as i64 - values[i] as i64;
+                let idx = (diff + (n as i64 - 1)) as usize;
+                if counts[idx] > 0 {
+                    out[i] += w;
+                    out[i + d] += w;
+                }
+                counts[idx] += 1;
+            }
+        }
+    }
+}
+
+/// Incrementally maintained conflict histogram for one permutation under one
+/// [`CostModel`].
+///
+/// Internally, `counts[(d−1) * width + diff_index]` stores how many pairs at distance
+/// `d` currently have each difference value.  A row with histogram counts `c₁,…,c_k`
+/// contributes `ERR(d) · Σ max(cᵢ − 1, 0)` to the global cost, which is exactly the
+/// paper's "already encountered" counting.  Swapping two positions only changes the
+/// O(d_max) pairs that touch those positions, so the cost delta is cheap to compute.
+#[derive(Debug, Clone)]
+pub struct ConflictTable {
+    model: CostModel,
+    n: usize,
+    width: usize,
+    dmax: usize,
+    values: Vec<usize>,
+    counts: Vec<u32>,
+    cost: u64,
+}
+
+impl ConflictTable {
+    /// Build the table for a permutation.
+    pub fn new(values: &[usize], model: CostModel) -> Self {
+        let n = values.len();
+        assert!(n >= 1, "conflict table needs a non-empty permutation");
+        let width = if n >= 2 { 2 * n - 1 } else { 1 };
+        let dmax = model.max_distance(n);
+        let mut table = Self {
+            model,
+            n,
+            width,
+            dmax,
+            values: values.to_vec(),
+            counts: vec![0; dmax * width],
+            cost: 0,
+        };
+        table.rebuild();
+        table
+    }
+
+    /// Build from a validated [`Permutation`].
+    pub fn from_permutation(perm: &Permutation, model: CostModel) -> Self {
+        Self::new(perm.values(), model)
+    }
+
+    /// Recompute histogram and cost from the stored permutation (O(n·d_max)).
+    pub fn rebuild(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.cost = 0;
+        for d in 1..=self.dmax {
+            let w = self.model.weight_at(self.n, d);
+            for i in 0..(self.n - d) {
+                let idx = self.index(d, i);
+                let c = &mut self.counts[idx];
+                if *c > 0 {
+                    self.cost += w;
+                }
+                *c += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn diff_index(&self, d: usize, diff: i64) -> usize {
+        (d - 1) * self.width + (diff + (self.n as i64 - 1)) as usize
+    }
+
+    #[inline]
+    fn index(&self, d: usize, i: usize) -> usize {
+        let diff = self.values[i + d] as i64 - self.values[i] as i64;
+        self.diff_index(d, diff)
+    }
+
+    /// Replace the current permutation (same order) and rebuild.
+    pub fn reset_to(&mut self, values: &[usize]) {
+        assert_eq!(values.len(), self.n, "order mismatch in reset_to");
+        self.values.copy_from_slice(values);
+        self.rebuild();
+    }
+
+    /// Current permutation values.
+    pub fn values(&self) -> &[usize] {
+        &self.values
+    }
+
+    /// Current weighted global cost.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Order of the permutation.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Is the current configuration a solution under this model?
+    ///
+    /// Note: with [`RowSpan::ChangHalf`] a zero cost already implies the full Costas
+    /// property (Chang 1987), which the integration tests double-check against the
+    /// naive oracle.
+    pub fn is_solution(&self) -> bool {
+        self.cost == 0
+    }
+
+    /// Per-variable errors of the current configuration (paper attribution rule).
+    pub fn variable_errors(&self, out: &mut Vec<u64>) {
+        self.model.variable_errors(&self.values, out);
+    }
+
+    /// Remove a pair's difference from the histogram, updating cost.
+    #[inline]
+    fn remove_pair(&mut self, d: usize, i: usize) {
+        let w = self.model.weight_at(self.n, d);
+        let idx = self.index(d, i);
+        let c = &mut self.counts[idx];
+        debug_assert!(*c > 0);
+        *c -= 1;
+        if *c > 0 {
+            self.cost -= w;
+        }
+    }
+
+    /// Add a pair's difference to the histogram, updating cost.
+    #[inline]
+    fn add_pair(&mut self, d: usize, i: usize) {
+        let w = self.model.weight_at(self.n, d);
+        let idx = self.index(d, i);
+        let c = &mut self.counts[idx];
+        if *c > 0 {
+            self.cost += w;
+        }
+        *c += 1;
+    }
+
+    /// Apply a swap of positions `i` and `j`, updating the histogram and cost in
+    /// O(d_max) time and with no allocation.  No-op when `i == j`.
+    ///
+    /// The set of affected (distance, left-index) pairs depends only on `i`, `j`, the
+    /// order and the scored span — not on the values — so the same index arithmetic is
+    /// walked twice: once to remove the old differences, once (after swapping) to add
+    /// the new ones.  A pair touching *both* positions (`j − i ≤ d_max`) is visited
+    /// exactly once thanks to the `j − d != i` guard.
+    pub fn apply_swap(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        macro_rules! walk_affected {
+            ($self:ident, $op:ident) => {
+                for d in 1..=$self.dmax {
+                    // pairs with position i as right endpoint
+                    if i >= d {
+                        $self.$op(d, i - d);
+                    }
+                    // pairs with position i as left endpoint
+                    if i + d < $self.n {
+                        $self.$op(d, i);
+                    }
+                    // pairs with position j as right endpoint, except the one whose
+                    // left endpoint is i (already visited above)
+                    if j >= d && j - d != i {
+                        $self.$op(d, j - d);
+                    }
+                    // pairs with position j as left endpoint
+                    if j + d < $self.n {
+                        $self.$op(d, j);
+                    }
+                }
+            };
+        }
+        walk_affected!(self, remove_pair);
+        self.values.swap(i, j);
+        walk_affected!(self, add_pair);
+    }
+
+    /// Cost the configuration would have after swapping positions `i` and `j`,
+    /// without changing the current configuration.
+    pub fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
+        if i == j {
+            return self.cost;
+        }
+        self.apply_swap(i, j);
+        let c = self.cost;
+        self.apply_swap(i, j);
+        c
+    }
+
+    /// Debug helper: recompute the cost from scratch and compare with the running
+    /// value.  Used by tests and `debug_assert!`s in the engine.
+    pub fn consistency_check(&self) -> bool {
+        self.model.global_cost(&self.values) == self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrand::{default_rng, random_permutation, RandExt};
+
+    fn one_based(mut p: Vec<usize>) -> Vec<usize> {
+        p.iter_mut().for_each(|v| *v += 1);
+        p
+    }
+
+    #[test]
+    fn weights_match_definitions() {
+        assert_eq!(ErrWeight::Unit.weight(10, 3), 1);
+        assert_eq!(ErrWeight::Quadratic.weight(10, 3), 91);
+        assert_eq!(ErrWeight::Quadratic.weight(5, 1), 24);
+    }
+
+    #[test]
+    fn row_span_bounds() {
+        assert_eq!(RowSpan::Full.max_distance(10), 9);
+        assert_eq!(RowSpan::ChangHalf.max_distance(10), 4);
+        assert_eq!(RowSpan::ChangHalf.max_distance(11), 5);
+        assert_eq!(RowSpan::ChangHalf.max_distance(5), 2);
+        assert_eq!(RowSpan::ChangHalf.max_distance(2), 1);
+        assert_eq!(RowSpan::ChangHalf.max_distance(1), 0);
+        assert_eq!(RowSpan::Full.max_distance(1), 0);
+    }
+
+    #[test]
+    fn cost_zero_iff_costas_for_both_models() {
+        let costas = [3usize, 4, 2, 1, 5];
+        let not_costas = [1usize, 2, 3, 4, 5];
+        for model in [CostModel::basic(), CostModel::optimized()] {
+            assert_eq!(model.global_cost(&costas), 0);
+            assert!(model.global_cost(&not_costas) > 0);
+        }
+    }
+
+    #[test]
+    fn basic_model_cost_counts_violations() {
+        // identity of order 5: full-triangle violations = 6 (see triangle tests)
+        let model = CostModel::basic();
+        assert_eq!(model.global_cost(&[1, 2, 3, 4, 5]), 6);
+    }
+
+    #[test]
+    fn chang_half_zero_implies_full_costas_exhaustively_small_n() {
+        // Chang's theorem: no repeats for d ≤ ⌊(n−1)/2⌋ ⟹ Costas.  Verify exhaustively
+        // for n ≤ 7 by comparing the two spans on every permutation.
+        use crate::check::is_costas_permutation;
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            fn rec(cur: &mut Vec<usize>, used: &mut Vec<bool>, out: &mut Vec<Vec<usize>>) {
+                let n = used.len();
+                if cur.len() == n {
+                    out.push(cur.clone());
+                    return;
+                }
+                for v in 1..=n {
+                    if !used[v - 1] {
+                        used[v - 1] = true;
+                        cur.push(v);
+                        rec(cur, used, out);
+                        cur.pop();
+                        used[v - 1] = false;
+                    }
+                }
+            }
+            let mut out = Vec::new();
+            rec(&mut Vec::new(), &mut vec![false; n], &mut out);
+            out
+        }
+        let half = CostModel { weight: ErrWeight::Unit, span: RowSpan::ChangHalf };
+        for n in 2..=7 {
+            for p in permutations(n) {
+                let zero_half = half.global_cost(&p) == 0;
+                assert_eq!(zero_half, is_costas_permutation(&p), "n={n} p={p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn variable_errors_sum_is_twice_unit_cost() {
+        // With ERR(d) = 1, each conflict charges both endpoints once, so the sum of
+        // variable errors equals 2 × (number of conflicts) = 2 × global cost.
+        let model = CostModel::basic();
+        let mut errs = Vec::new();
+        for perm in [
+            vec![1usize, 2, 3, 4, 5, 6],
+            vec![2, 4, 6, 1, 3, 5],
+            vec![6, 5, 4, 3, 2, 1],
+        ] {
+            model.variable_errors(&perm, &mut errs);
+            let total: u64 = errs.iter().sum();
+            assert_eq!(total, 2 * model.global_cost(&perm), "{perm:?}");
+        }
+    }
+
+    #[test]
+    fn conflict_table_matches_scratch_cost() {
+        let mut rng = default_rng(42);
+        for n in [2usize, 3, 5, 8, 13, 19] {
+            for model in [CostModel::basic(), CostModel::optimized()] {
+                for _ in 0..20 {
+                    let p = one_based(random_permutation(n, &mut rng));
+                    let table = ConflictTable::new(&p, model);
+                    assert_eq!(table.cost(), model.global_cost(&p), "n={n} {p:?}");
+                    assert!(table.consistency_check());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_swap_keeps_cost_consistent() {
+        let mut rng = default_rng(7);
+        for n in [4usize, 7, 12, 18] {
+            for model in [CostModel::basic(), CostModel::optimized()] {
+                let p = one_based(random_permutation(n, &mut rng));
+                let mut table = ConflictTable::new(&p, model);
+                for _ in 0..200 {
+                    let i = rng.index(n);
+                    let j = rng.index(n);
+                    table.apply_swap(i, j);
+                    assert!(
+                        table.consistency_check(),
+                        "n={n} model={model:?} after swapping {i},{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_after_swap_is_side_effect_free() {
+        let mut rng = default_rng(9);
+        let n = 15;
+        let p = one_based(random_permutation(n, &mut rng));
+        let mut table = ConflictTable::new(&p, CostModel::optimized());
+        let before_values = table.values().to_vec();
+        let before_cost = table.cost();
+        for _ in 0..100 {
+            let i = rng.index(n);
+            let j = rng.index(n);
+            let predicted = table.cost_after_swap(i, j);
+            assert_eq!(table.values(), &before_values[..]);
+            assert_eq!(table.cost(), before_cost);
+            // and the prediction matches actually doing it
+            let mut copy = table.clone();
+            copy.apply_swap(i, j);
+            assert_eq!(copy.cost(), predicted);
+        }
+    }
+
+    #[test]
+    fn swap_with_self_is_noop() {
+        let p = [3usize, 4, 2, 1, 5];
+        let mut table = ConflictTable::new(&p, CostModel::optimized());
+        let c = table.cost();
+        table.apply_swap(2, 2);
+        assert_eq!(table.cost(), c);
+        assert_eq!(table.values(), &p);
+    }
+
+    #[test]
+    fn reset_to_rebuilds() {
+        let mut table = ConflictTable::new(&[1, 2, 3, 4, 5], CostModel::optimized());
+        assert!(table.cost() > 0);
+        table.reset_to(&[3, 4, 2, 1, 5]);
+        assert_eq!(table.cost(), 0);
+        assert!(table.is_solution());
+    }
+
+    #[test]
+    fn order_one_table_is_trivially_solved() {
+        let table = ConflictTable::new(&[1], CostModel::optimized());
+        assert_eq!(table.cost(), 0);
+        assert!(table.is_solution());
+    }
+
+    #[test]
+    fn variable_errors_identify_the_culprit() {
+        // [2, 4, 6, 1, 3, 5] has its conflicts concentrated on the arithmetic runs;
+        // simply check the maximum-error variable has strictly positive error and the
+        // error vector has the right length.
+        let model = CostModel::optimized();
+        let mut errs = Vec::new();
+        model.variable_errors(&[2, 4, 6, 1, 3, 5], &mut errs);
+        assert_eq!(errs.len(), 6);
+        assert!(errs.iter().any(|&e| e > 0));
+    }
+}

@@ -1,0 +1,129 @@
+//! The published census of Costas arrays.
+//!
+//! The enumeration of all Costas arrays is itself a hard computational problem: the
+//! paper cites Drakakis et al. for the enumerations of orders 28 and 29 (the latter
+//! found only 164 arrays among 29! permutations, i.e. 23 classes up to symmetry).
+//! This module records the published total counts so that
+//!
+//! * the backtracking enumerator can be validated for every order we can afford to
+//!   enumerate in tests, and
+//! * the solvers and examples can report how rare solutions are (the "needle in a
+//!   haystack" density figures quoted when motivating parallel search).
+
+/// Total number of Costas arrays (including all rotations/reflections) for orders
+/// 1 through 29, as published in the enumeration literature (Drakakis et al., 2011,
+/// and earlier enumerations referenced by the paper).
+pub const KNOWN_COUNTS: [u64; 29] = [
+    1,      // n = 1
+    2,      // n = 2
+    4,      // n = 3
+    12,     // n = 4
+    40,     // n = 5
+    116,    // n = 6
+    200,    // n = 7
+    444,    // n = 8
+    760,    // n = 9
+    2160,   // n = 10
+    4368,   // n = 11
+    7852,   // n = 12
+    12828,  // n = 13
+    17252,  // n = 14
+    19612,  // n = 15
+    21104,  // n = 16
+    18276,  // n = 17
+    15096,  // n = 18
+    10240,  // n = 19
+    6464,   // n = 20
+    3536,   // n = 21
+    2052,   // n = 22
+    872,    // n = 23
+    200,    // n = 24
+    88,     // n = 25
+    56,     // n = 26
+    204,    // n = 27
+    712,    // n = 28
+    164,    // n = 29
+];
+
+/// The published total count of Costas arrays of order `n`, if known.
+///
+/// Returns `None` for `n == 0`, for `n > 29` (beyond the published enumerations at the
+/// time of the paper), and in particular for the famously open orders 32 and 33.
+pub fn known_costas_count(n: usize) -> Option<u64> {
+    if n == 0 || n > KNOWN_COUNTS.len() {
+        None
+    } else {
+        Some(KNOWN_COUNTS[n - 1])
+    }
+}
+
+/// Solution density: the fraction of the `n!` permutations that are Costas arrays.
+/// This is the quantity that collapses super-exponentially and motivates both the
+/// difficulty of the CAP and the effectiveness of massively parallel multi-walk search
+/// (paper §II and §V).
+pub fn solution_density(n: usize) -> Option<f64> {
+    let count = known_costas_count(n)? as f64;
+    let mut fact = 1f64;
+    for k in 2..=n {
+        fact *= k as f64;
+    }
+    Some(count / fact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::count_costas;
+
+    #[test]
+    fn census_agrees_with_enumeration_up_to_order_9() {
+        // Order 9 enumerates in well under a second even in debug builds; order 10+
+        // is covered by the (slower) ignored test below.
+        for n in 1..=9 {
+            assert_eq!(
+                count_costas(n),
+                known_costas_count(n).unwrap(),
+                "census mismatch at order {n}"
+            );
+        }
+    }
+
+    /// Slow cross-check of the census for orders 10–12 (~seconds in release mode).
+    /// Run with `cargo test -p costas --release -- --ignored`.
+    #[test]
+    #[ignore = "slow: exhaustive enumeration of orders 10-12"]
+    fn census_agrees_with_enumeration_orders_10_to_12() {
+        for n in 10..=12 {
+            assert_eq!(count_costas(n), known_costas_count(n).unwrap(), "order {n}");
+        }
+    }
+
+    #[test]
+    fn out_of_table_queries_return_none() {
+        assert_eq!(known_costas_count(0), None);
+        assert_eq!(known_costas_count(30), None);
+        assert_eq!(known_costas_count(32), None);
+        assert!(known_costas_count(29).is_some());
+    }
+
+    #[test]
+    fn density_decreases_sharply_in_the_paper_range() {
+        // The density at n = 20 is orders of magnitude below the density at n = 16 —
+        // this is the low-density regime the paper stresses.
+        let d16 = solution_density(16).unwrap();
+        let d20 = solution_density(20).unwrap();
+        assert!(d16 > 0.0 && d20 > 0.0);
+        assert!(d16 / d20 > 1e3, "d16={d16:e} d20={d20:e}");
+        // sanity: density is a probability
+        for n in 1..=29 {
+            let d = solution_density(n).unwrap();
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn order_29_matches_the_papers_quoted_figure() {
+        // §II: "among the 29! permutations, there are only 164 Costas arrays"
+        assert_eq!(known_costas_count(29), Some(164));
+    }
+}

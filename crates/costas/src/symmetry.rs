@@ -1,0 +1,216 @@
+//! The symmetry group of Costas arrays.
+//!
+//! The Costas property is invariant under the dihedral group of the square (rotations
+//! by 90°/180°/270°, horizontal/vertical flips, and the two diagonal transpositions —
+//! 8 elements in total).  The enumeration literature the paper cites (Drakakis et al.)
+//! always reports both the total number of Costas arrays and the number of classes
+//! "up to rotation and reflection"; this module provides the transforms, orbits and a
+//! canonical representative so the enumerator can report both figures.
+
+use crate::array::Permutation;
+
+/// One element of the dihedral group D₄ acting on an `n × n` grid of marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Symmetry {
+    /// Identity.
+    Identity,
+    /// Rotation by 90° counter-clockwise.
+    Rotate90,
+    /// Rotation by 180°.
+    Rotate180,
+    /// Rotation by 270° counter-clockwise.
+    Rotate270,
+    /// Reflection about the vertical axis (reverse column order).
+    FlipHorizontal,
+    /// Reflection about the horizontal axis (complement values).
+    FlipVertical,
+    /// Transposition about the main diagonal (functional inverse).
+    Transpose,
+    /// Transposition about the anti-diagonal.
+    AntiTranspose,
+}
+
+impl Symmetry {
+    /// All eight group elements.
+    pub const ALL: [Symmetry; 8] = [
+        Symmetry::Identity,
+        Symmetry::Rotate90,
+        Symmetry::Rotate180,
+        Symmetry::Rotate270,
+        Symmetry::FlipHorizontal,
+        Symmetry::FlipVertical,
+        Symmetry::Transpose,
+        Symmetry::AntiTranspose,
+    ];
+
+    /// Apply this symmetry to a permutation (1-based values), returning the
+    /// transformed permutation.
+    pub fn apply(self, values: &[usize]) -> Vec<usize> {
+        let n = values.len();
+        match self {
+            Symmetry::Identity => values.to_vec(),
+            // flip columns: column i takes the value of column n-1-i
+            Symmetry::FlipHorizontal => values.iter().rev().copied().collect(),
+            // flip rows: value v becomes n+1-v
+            Symmetry::FlipVertical => values.iter().map(|&v| n + 1 - v).collect(),
+            // 180° rotation = flip both
+            Symmetry::Rotate180 => values.iter().rev().map(|&v| n + 1 - v).collect(),
+            // transpose: marks (i, v) become (v, i): inverse permutation
+            Symmetry::Transpose => {
+                let mut out = vec![0usize; n];
+                for (i, &v) in values.iter().enumerate() {
+                    out[v - 1] = i + 1;
+                }
+                out
+            }
+            // 90° rotation (counter-clockwise): (col, row) → (n+1−row, col)
+            Symmetry::Rotate90 => {
+                let mut out = vec![0usize; n];
+                for (i, &v) in values.iter().enumerate() {
+                    out[n - v] = i + 1;
+                }
+                out
+            }
+            // 270° rotation: (col, row) → (row, n+1−col)
+            Symmetry::Rotate270 => {
+                let mut out = vec![0usize; n];
+                for (i, &v) in values.iter().enumerate() {
+                    out[v - 1] = n - i;
+                }
+                out
+            }
+            // anti-transpose = 180° ∘ transpose
+            Symmetry::AntiTranspose => {
+                let mut out = vec![0usize; n];
+                for (i, &v) in values.iter().enumerate() {
+                    out[n - v] = n - i;
+                }
+                out
+            }
+        }
+    }
+
+    /// Apply to a checked permutation.
+    pub fn apply_perm(self, p: &Permutation) -> Permutation {
+        Permutation::try_new(self.apply(p.values())).expect("symmetry preserves permutations")
+    }
+}
+
+/// The orbit of a permutation under the full dihedral group (duplicates removed, so
+/// the orbit size divides 8).
+pub fn orbit(values: &[usize]) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Symmetry::ALL.iter().map(|s| s.apply(values)).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Canonical representative of the orbit: the lexicographically smallest transform.
+/// Two permutations are equivalent up to rotation/reflection iff their canonical forms
+/// are equal.
+pub fn canonical_form(values: &[usize]) -> Vec<usize> {
+    Symmetry::ALL
+        .iter()
+        .map(|s| s.apply(values))
+        .min()
+        .expect("the symmetry group is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::is_costas_permutation;
+
+    const EXAMPLE: [usize; 5] = [3, 4, 2, 1, 5];
+
+    #[test]
+    fn all_symmetries_preserve_permutation_structure() {
+        for s in Symmetry::ALL {
+            let t = s.apply(&EXAMPLE);
+            assert!(Permutation::validate(&t).is_ok(), "{s:?} gave {t:?}");
+        }
+    }
+
+    #[test]
+    fn all_symmetries_preserve_costas_property() {
+        assert!(is_costas_permutation(&EXAMPLE));
+        for s in Symmetry::ALL {
+            let t = s.apply(&EXAMPLE);
+            assert!(is_costas_permutation(&t), "{s:?} broke the Costas property: {t:?}");
+        }
+        // and they preserve NON-Costas-ness too (the group acts on all grids)
+        let bad = [1usize, 2, 3, 4, 5];
+        for s in Symmetry::ALL {
+            assert!(!is_costas_permutation(&s.apply(&bad)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        assert_eq!(Symmetry::Identity.apply(&EXAMPLE), EXAMPLE.to_vec());
+    }
+
+    #[test]
+    fn rotations_compose_to_identity() {
+        let mut v = EXAMPLE.to_vec();
+        for _ in 0..4 {
+            v = Symmetry::Rotate90.apply(&v);
+        }
+        assert_eq!(v, EXAMPLE.to_vec());
+        let mut w = EXAMPLE.to_vec();
+        w = Symmetry::Rotate90.apply(&w);
+        w = Symmetry::Rotate270.apply(&w);
+        assert_eq!(w, EXAMPLE.to_vec());
+    }
+
+    #[test]
+    fn double_flip_is_rotation_180() {
+        let h_then_v = Symmetry::FlipVertical.apply(&Symmetry::FlipHorizontal.apply(&EXAMPLE));
+        assert_eq!(h_then_v, Symmetry::Rotate180.apply(&EXAMPLE));
+    }
+
+    #[test]
+    fn transpose_is_involution_and_matches_inverse() {
+        let t = Symmetry::Transpose.apply(&EXAMPLE);
+        assert_eq!(Symmetry::Transpose.apply(&t), EXAMPLE.to_vec());
+        let p = Permutation::try_new(EXAMPLE.to_vec()).unwrap();
+        assert_eq!(t, p.inverse().values().to_vec());
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        for s in [Symmetry::FlipHorizontal, Symmetry::FlipVertical, Symmetry::AntiTranspose] {
+            let twice = s.apply(&s.apply(&EXAMPLE));
+            assert_eq!(twice, EXAMPLE.to_vec(), "{s:?} should be an involution");
+        }
+    }
+
+    #[test]
+    fn orbit_size_divides_eight() {
+        let o = orbit(&EXAMPLE);
+        assert!(o.len() <= 8);
+        assert_eq!(8 % o.len(), 0, "orbit size {} must divide 8", o.len());
+        // orbit elements are distinct permutations, all Costas
+        for v in &o {
+            assert!(is_costas_permutation(v));
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_orbit_invariant() {
+        let canon = canonical_form(&EXAMPLE);
+        for s in Symmetry::ALL {
+            assert_eq!(canonical_form(&s.apply(&EXAMPLE)), canon, "{s:?}");
+        }
+        // canonical form is itself in the orbit
+        assert!(orbit(&EXAMPLE).contains(&canon));
+    }
+
+    #[test]
+    fn symmetric_configuration_has_small_orbit() {
+        // order-1 array is fixed by everything
+        assert_eq!(orbit(&[1]).len(), 1);
+        // order-2 [1,2] orbit = {[1,2],[2,1]}
+        assert_eq!(orbit(&[1, 2]).len(), 2);
+    }
+}

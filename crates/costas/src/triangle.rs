@@ -1,0 +1,203 @@
+//! The difference triangle.
+//!
+//! For a permutation `V₁…Vₙ` the difference triangle has `n−1` rows; row `d` holds the
+//! differences `V_{i+d} − V_i` for `i = 1…n−d`.  The permutation is a Costas array iff
+//! no row contains a repeated value (paper §IV-A).  The triangle for the paper's
+//! order-5 example `[3, 4, 2, 1, 5]`:
+//!
+//! ```text
+//! d = 1:   1  -2  -1   4
+//! d = 2:  -1  -3   3
+//! d = 3:  -2   1
+//! d = 4:   2
+//! ```
+//!
+//! [`DifferenceTriangle`] materialises the triangle (useful for inspection, teaching,
+//! and tests); the solvers themselves use the incremental [`crate::cost::ConflictTable`]
+//! instead, which never builds the full triangle.
+
+use std::fmt;
+
+/// A fully materialised difference triangle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DifferenceTriangle {
+    n: usize,
+    /// `rows[d - 1]` holds the differences at distance `d` (length `n − d`).
+    rows: Vec<Vec<i64>>,
+}
+
+impl DifferenceTriangle {
+    /// Build the triangle of a permutation (any slice of 1-based values; the Costas
+    /// property is not required).
+    ///
+    /// # Panics
+    /// Panics if `values` is empty.
+    pub fn new(values: &[usize]) -> Self {
+        assert!(!values.is_empty(), "difference triangle of an empty sequence");
+        let n = values.len();
+        let mut rows = Vec::with_capacity(n.saturating_sub(1));
+        for d in 1..n {
+            let mut row = Vec::with_capacity(n - d);
+            for i in 0..(n - d) {
+                row.push(values[i + d] as i64 - values[i] as i64);
+            }
+            rows.push(row);
+        }
+        Self { n, rows }
+    }
+
+    /// Order `n` of the underlying permutation.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows (`n − 1`).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Row at distance `d` (`1 ≤ d ≤ n − 1`).
+    ///
+    /// # Panics
+    /// Panics if `d` is out of range.
+    pub fn row(&self, d: usize) -> &[i64] {
+        assert!(d >= 1 && d < self.n, "row distance {d} out of range for order {}", self.n);
+        &self.rows[d - 1]
+    }
+
+    /// All rows, from `d = 1` to `d = n − 1`.
+    pub fn rows(&self) -> &[Vec<i64>] {
+        &self.rows
+    }
+
+    /// Total number of entries: `n(n−1)/2`, the number of displacement vectors.
+    pub fn num_entries(&self) -> usize {
+        self.n * (self.n - 1) / 2
+    }
+
+    /// Does row `d` contain a repeated value?
+    pub fn row_has_repeat(&self, d: usize) -> bool {
+        let row = self.row(d);
+        // rows are short (≤ n − 1); a sort-based check avoids hashing overhead
+        let mut sorted = row.to_vec();
+        sorted.sort_unstable();
+        sorted.windows(2).any(|w| w[0] == w[1])
+    }
+
+    /// Number of "repeat" errors in row `d`: `(#entries) − (#distinct entries)`.
+    ///
+    /// This matches the paper's counting: scanning the row left to right, every entry
+    /// whose value has already been seen counts as one error.
+    pub fn row_error_count(&self, d: usize) -> usize {
+        let row = self.row(d);
+        let mut sorted = row.to_vec();
+        sorted.sort_unstable();
+        let distinct = 1 + sorted.windows(2).filter(|w| w[0] != w[1]).count();
+        if row.is_empty() {
+            0
+        } else {
+            row.len() - distinct
+        }
+    }
+
+    /// True iff no row contains a repeated value, i.e. the permutation is Costas.
+    pub fn is_costas(&self) -> bool {
+        (1..self.n).all(|d| !self.row_has_repeat(d))
+    }
+
+    /// Total error count over all rows (unweighted).
+    pub fn total_errors(&self) -> usize {
+        (1..self.n).map(|d| self.row_error_count(d)).sum()
+    }
+}
+
+impl fmt::Display for DifferenceTriangle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in 1..self.n {
+            write!(f, "d = {d}:")?;
+            for v in self.row(d) {
+                write!(f, " {v:>3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_triangle() {
+        let t = DifferenceTriangle::new(&[3, 4, 2, 1, 5]);
+        assert_eq!(t.order(), 5);
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.row(1), &[1, -2, -1, 4]);
+        assert_eq!(t.row(2), &[-1, -3, 3]);
+        assert_eq!(t.row(3), &[-2, 1]);
+        assert_eq!(t.row(4), &[2]);
+        assert!(t.is_costas());
+        assert_eq!(t.total_errors(), 0);
+    }
+
+    #[test]
+    fn identity_triangle_is_all_equal_rows() {
+        let t = DifferenceTriangle::new(&[1, 2, 3, 4, 5]);
+        assert_eq!(t.row(1), &[1, 1, 1, 1]);
+        assert!(t.row_has_repeat(1));
+        assert_eq!(t.row_error_count(1), 3);
+        assert!(!t.is_costas());
+        // row 1: 3 repeats, row 2: 2 repeats, row 3: 1 repeat, row 4: 0
+        assert_eq!(t.total_errors(), 6);
+    }
+
+    #[test]
+    fn entry_count_is_binomial() {
+        for n in 1..12 {
+            let values: Vec<usize> = (1..=n).collect();
+            let t = DifferenceTriangle::new(&values);
+            assert_eq!(t.num_entries(), n * (n - 1) / 2);
+            let stored: usize = t.rows().iter().map(|r| r.len()).sum();
+            assert_eq!(stored, t.num_entries());
+        }
+    }
+
+    #[test]
+    fn order_one_has_no_rows() {
+        let t = DifferenceTriangle::new(&[1]);
+        assert_eq!(t.num_rows(), 0);
+        assert!(t.is_costas());
+        assert_eq!(t.total_errors(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_input_panics() {
+        DifferenceTriangle::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_row_panics() {
+        let t = DifferenceTriangle::new(&[2, 1]);
+        t.row(2);
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let t = DifferenceTriangle::new(&[3, 4, 2, 1, 5]);
+        let s = t.to_string();
+        assert!(s.contains("d = 1:"));
+        assert!(s.contains("d = 4:"));
+        assert!(s.contains("-3"));
+    }
+
+    #[test]
+    fn row_error_count_counts_multiplicities_correctly() {
+        // row with values [2, 2, 2, 5]: three 2's → 2 errors
+        let t = DifferenceTriangle::new(&[1, 3, 5, 7, 12]);
+        assert_eq!(t.row(1), &[2, 2, 2, 5]);
+        assert_eq!(t.row_error_count(1), 2);
+    }
+}

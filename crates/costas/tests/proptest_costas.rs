@@ -1,0 +1,123 @@
+//! Property-based tests for the Costas domain crate.
+//!
+//! The central invariant: the incremental [`ConflictTable`] must agree with the naive
+//! from-scratch cost for *every* permutation and *every* sequence of swaps, under both
+//! cost models.  Symmetries must be bijections preserving the Costas property.
+
+use costas::{
+    canonical_form, is_costas_permutation, orbit, violation_count, ConflictTable, CostModel,
+    DifferenceTriangle, Permutation, Symmetry,
+};
+use proptest::prelude::*;
+use xrand::{default_rng, random_permutation};
+
+/// Strategy: a random permutation of 1..=n for n in [1, 20].
+fn arb_permutation() -> impl Strategy<Value = Vec<usize>> {
+    (1usize..=20, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = default_rng(seed);
+        let mut p = random_permutation(n, &mut rng);
+        p.iter_mut().for_each(|v| *v += 1);
+        p
+    })
+}
+
+proptest! {
+    #[test]
+    fn conflict_table_cost_matches_scratch(perm in arb_permutation()) {
+        for model in [CostModel::basic(), CostModel::optimized()] {
+            let table = ConflictTable::new(&perm, model);
+            prop_assert_eq!(table.cost(), model.global_cost(&perm));
+        }
+    }
+
+    #[test]
+    fn conflict_table_stays_consistent_under_swaps(
+        perm in arb_permutation(),
+        swaps in proptest::collection::vec((0usize..20, 0usize..20), 0..50),
+    ) {
+        let n = perm.len();
+        for model in [CostModel::basic(), CostModel::optimized()] {
+            let mut table = ConflictTable::new(&perm, model);
+            let mut shadow = perm.clone();
+            for &(a, b) in &swaps {
+                let (i, j) = (a % n, b % n);
+                table.apply_swap(i, j);
+                shadow.swap(i, j);
+                prop_assert_eq!(table.cost(), model.global_cost(&shadow));
+                prop_assert_eq!(table.values(), &shadow[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_zero_iff_costas(perm in arb_permutation()) {
+        let is_costas = is_costas_permutation(&perm);
+        // Basic model over the full triangle: cost 0 ⟺ Costas.
+        prop_assert_eq!(CostModel::basic().global_cost(&perm) == 0, is_costas);
+        // Chang half-triangle: cost 0 ⟺ Costas (Chang's theorem).
+        prop_assert_eq!(CostModel::optimized().global_cost(&perm) == 0, is_costas);
+    }
+
+    #[test]
+    fn unit_cost_equals_violation_count_and_triangle_errors(perm in arb_permutation()) {
+        let unit_full = CostModel::basic().global_cost(&perm);
+        prop_assert_eq!(unit_full as usize, violation_count(&perm));
+        prop_assert_eq!(unit_full as usize, DifferenceTriangle::new(&perm).total_errors());
+    }
+
+    #[test]
+    fn variable_errors_sum_is_twice_unit_cost(perm in arb_permutation()) {
+        let model = CostModel::basic();
+        let mut errs = Vec::new();
+        model.variable_errors(&perm, &mut errs);
+        prop_assert_eq!(errs.iter().sum::<u64>(), 2 * model.global_cost(&perm));
+        prop_assert_eq!(errs.len(), perm.len());
+    }
+
+    #[test]
+    fn symmetries_are_permutation_preserving_bijections(perm in arb_permutation()) {
+        for s in Symmetry::ALL {
+            let t = s.apply(&perm);
+            prop_assert!(Permutation::validate(&t).is_ok(), "{:?}", s);
+            // applying the symmetry must be invertible: some group element maps back
+            let back_exists = Symmetry::ALL.iter().any(|r| r.apply(&t) == perm);
+            prop_assert!(back_exists, "{:?} not invertible within the group", s);
+        }
+    }
+
+    #[test]
+    fn symmetries_preserve_costas_status(perm in arb_permutation()) {
+        let status = is_costas_permutation(&perm);
+        for s in Symmetry::ALL {
+            prop_assert_eq!(is_costas_permutation(&s.apply(&perm)), status, "{:?}", s);
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_invariant_and_minimal(perm in arb_permutation()) {
+        let canon = canonical_form(&perm);
+        let orb = orbit(&perm);
+        prop_assert!(orb.contains(&canon));
+        prop_assert!(orb.iter().all(|v| &canon <= v));
+        for s in Symmetry::ALL {
+            prop_assert_eq!(canonical_form(&s.apply(&perm)), canon.clone());
+        }
+    }
+
+    #[test]
+    fn orbit_sizes_divide_eight(perm in arb_permutation()) {
+        let len = orbit(&perm).len();
+        prop_assert!(len >= 1 && len <= 8);
+        prop_assert_eq!(8 % len, 0);
+    }
+
+    #[test]
+    fn triangle_row_lengths_are_correct(perm in arb_permutation()) {
+        let t = DifferenceTriangle::new(&perm);
+        let n = perm.len();
+        for d in 1..n {
+            prop_assert_eq!(t.row(d).len(), n - d);
+        }
+        prop_assert_eq!(t.num_entries(), n * (n - 1) / 2);
+    }
+}

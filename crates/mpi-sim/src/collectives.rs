@@ -1,0 +1,133 @@
+//! Higher-level collective patterns built on the point-to-point layer.
+//!
+//! The core collectives (`barrier`, `broadcast`, `all_reduce`) live on
+//! [`crate::Communicator`]; this module adds the gather/scatter-style helpers the
+//! benchmark drivers use to collect per-rank measurements, plus a tiny "first
+//! responder wins" primitive that encapsulates the paper's termination protocol.
+
+use crate::comm::Communicator;
+use crate::error::CommError;
+use crate::message::{Tag, ANY_SOURCE};
+
+/// Tag reserved by [`gather_to_root`] / [`scatter_from_root`].
+const GATHER_TAG: Tag = Tag::MAX - 2;
+/// Tag reserved by [`FirstResponder`].
+const WINNER_TAG: Tag = Tag::MAX - 3;
+
+/// Gather every rank's value at rank 0 (returns `Some(values-in-rank-order)` on rank 0
+/// and `None` elsewhere).
+pub fn gather_to_root<T: Send>(
+    comm: &mut Communicator<T>,
+    value: T,
+) -> Result<Option<Vec<T>>, CommError> {
+    if comm.rank() == 0 {
+        let mut slots: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
+        slots[0] = Some(value);
+        for _ in 1..comm.size() {
+            let env = comm.recv_matching(ANY_SOURCE, GATHER_TAG)?;
+            slots[env.source] = Some(env.payload);
+        }
+        Ok(Some(slots.into_iter().map(|s| s.expect("every rank sent")).collect()))
+    } else {
+        comm.send(0, GATHER_TAG, value)?;
+        Ok(None)
+    }
+}
+
+/// Scatter a vector from rank 0: rank `i` receives `values[i]`.
+pub fn scatter_from_root<T: Send>(
+    comm: &mut Communicator<T>,
+    values: Option<Vec<T>>,
+) -> Result<T, CommError> {
+    if comm.rank() == 0 {
+        let mut values = values.expect("rank 0 must supply the values to scatter");
+        assert_eq!(values.len(), comm.size(), "one value per rank");
+        // send in reverse so we can pop() without shifting
+        for dest in (1..comm.size()).rev() {
+            let v = values.pop().expect("length checked above");
+            comm.send(dest, GATHER_TAG, v)?;
+        }
+        Ok(values.pop().expect("rank 0 keeps the first value"))
+    } else {
+        Ok(comm.recv_matching(0, GATHER_TAG)?.payload)
+    }
+}
+
+/// The paper's termination protocol, reified: the first rank to call
+/// [`FirstResponder::announce`] becomes the winner; every other rank detects it with
+/// the non-blocking [`FirstResponder::check`].
+pub struct FirstResponder;
+
+impl FirstResponder {
+    /// Announce that this rank has found a solution, notifying every other rank.
+    pub fn announce<T: Send + Clone>(
+        comm: &Communicator<T>,
+        payload: T,
+    ) -> Result<(), CommError> {
+        comm.send_to_all_others(WINNER_TAG, payload)
+    }
+
+    /// Non-blocking check: has some other rank announced a solution?  Returns the
+    /// winning rank and its payload if so.
+    pub fn check<T: Send>(comm: &mut Communicator<T>) -> Option<(usize, T)> {
+        comm.try_recv_matching(ANY_SOURCE, WINNER_TAG)
+            .map(|env| (env.source, env.payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::run_world;
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = run_world::<usize, _, _>(6, |comm| {
+            gather_to_root(comm, comm.rank() * comm.rank()).unwrap()
+        });
+        assert_eq!(results[0], Some(vec![0, 1, 4, 9, 16, 25]));
+        for r in &results[1..] {
+            assert!(r.is_none());
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_one_value_per_rank() {
+        let results = run_world::<u32, _, _>(4, |comm| {
+            let values = if comm.rank() == 0 {
+                Some(vec![100, 200, 300, 400])
+            } else {
+                None
+            };
+            scatter_from_root(comm, values).unwrap()
+        });
+        assert_eq!(results, vec![100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn first_responder_announce_and_check() {
+        let results = run_world::<u8, _, _>(3, |comm| {
+            if comm.rank() == 1 {
+                FirstResponder::announce(comm, 77).unwrap();
+                None
+            } else {
+                // poll until the announcement arrives
+                loop {
+                    if let Some((winner, payload)) = FirstResponder::check(comm) {
+                        return Some((winner, payload));
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(results[0], Some((1, 77)));
+        assert_eq!(results[1], None);
+        assert_eq!(results[2], Some((1, 77)));
+    }
+
+    #[test]
+    fn gather_single_rank_world() {
+        let results = run_world::<u8, _, _>(1, |comm| gather_to_root(comm, 9).unwrap());
+        assert_eq!(results[0], Some(vec![9]));
+    }
+}

@@ -1,0 +1,339 @@
+//! Ranks, communicators, point-to-point messaging and non-blocking probes.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::error::CommError;
+use crate::message::{Envelope, Tag, ANY_SOURCE, ANY_TAG};
+
+/// Factory for the ranks of one "world".
+pub struct Universe;
+
+impl Universe {
+    /// Create a world of `size` ranks and return one [`Communicator`] per rank,
+    /// indexed by rank.  The communicators can then be moved into threads (see
+    /// [`crate::run_world`]) or driven cooperatively from a single thread (which is
+    /// what the deterministic virtual-cluster simulator does).
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn world<T: Send>(size: usize) -> Vec<Communicator<T>> {
+        assert!(size > 0, "a world needs at least one rank");
+        let mut senders: Vec<Sender<Envelope<T>>> = Vec::with_capacity(size);
+        let mut receivers: Vec<Receiver<Envelope<T>>> = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(std::sync::Barrier::new(size));
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Communicator {
+                rank,
+                size,
+                senders: senders.clone(),
+                receiver,
+                pending: VecDeque::new(),
+                barrier: barrier.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Reserved tag used internally by the collectives so they never collide with
+/// user-level point-to-point traffic.
+const COLLECTIVE_TAG: Tag = Tag::MAX - 1;
+
+/// One rank's endpoint in a world.
+pub struct Communicator<T> {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope<T>>>,
+    receiver: Receiver<Envelope<T>>,
+    /// Messages already pulled off the channel but not yet consumed by a matching
+    /// receive (needed because probes/selective receives may skip over them).
+    pending: VecDeque<Envelope<T>>,
+    barrier: Arc<std::sync::Barrier>,
+}
+
+impl<T: Send> Communicator<T> {
+    /// This rank's index in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `payload` to `dest` with the given tag (asynchronous, never blocks).
+    pub fn send(&self, dest: usize, tag: Tag, payload: T) -> Result<(), CommError> {
+        if dest >= self.size {
+            return Err(CommError::InvalidRank { rank: dest, world_size: self.size });
+        }
+        self.senders[dest]
+            .send(Envelope::new(self.rank, tag, payload))
+            .map_err(|_| CommError::Disconnected { peer: dest })
+    }
+
+    /// Broadcast-style convenience: send the same payload to every other rank.
+    pub fn send_to_all_others(&self, tag: Tag, payload: T) -> Result<(), CommError>
+    where
+        T: Clone,
+    {
+        for dest in 0..self.size {
+            if dest != self.rank {
+                self.send(dest, tag, payload.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain everything currently sitting in the channel into the pending buffer
+    /// without blocking.
+    fn drain_channel(&mut self) {
+        loop {
+            match self.receiver.try_recv() {
+                Ok(env) => self.pending.push_back(env),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Non-blocking probe: is there a message matching `(source, tag)` waiting?
+    /// This is the `MPI_Iprobe` the paper's solver calls every `c` iterations.
+    pub fn iprobe(&mut self, source: usize, tag: Tag) -> bool {
+        if self.pending.iter().any(|e| e.matches(source, tag)) {
+            return true;
+        }
+        self.drain_channel();
+        self.pending.iter().any(|e| e.matches(source, tag))
+    }
+
+    /// Non-blocking receive of the oldest message matching `(source, tag)`.
+    pub fn try_recv_matching(&mut self, source: usize, tag: Tag) -> Option<Envelope<T>> {
+        self.drain_channel();
+        if let Some(pos) = self.pending.iter().position(|e| e.matches(source, tag)) {
+            return self.pending.remove(pos);
+        }
+        None
+    }
+
+    /// Non-blocking receive of the oldest message of any kind.
+    pub fn try_recv(&mut self) -> Option<Envelope<T>> {
+        self.try_recv_matching(ANY_SOURCE, ANY_TAG)
+    }
+
+    /// Blocking receive of the oldest message matching `(source, tag)`.
+    pub fn recv_matching(&mut self, source: usize, tag: Tag) -> Result<Envelope<T>, CommError> {
+        if let Some(env) = self.try_recv_matching(source, tag) {
+            return Ok(env);
+        }
+        loop {
+            match self.receiver.recv() {
+                Ok(env) => {
+                    if env.matches(source, tag) {
+                        return Ok(env);
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(_) => return Err(CommError::ChannelClosed),
+            }
+        }
+    }
+
+    /// Blocking receive of the oldest message of any kind.
+    pub fn recv(&mut self) -> Result<Envelope<T>, CommError> {
+        self.recv_matching(ANY_SOURCE, ANY_TAG)
+    }
+
+    /// Synchronise all ranks (only meaningful when every rank runs on its own thread).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Broadcast from `root`: the root's `value` is returned on every rank.
+    pub fn broadcast(&mut self, root: usize, value: Option<T>) -> Result<T, CommError>
+    where
+        T: Clone,
+    {
+        if root >= self.size {
+            return Err(CommError::InvalidRank { rank: root, world_size: self.size });
+        }
+        if self.rank == root {
+            let v = value.expect("the broadcast root must supply a value");
+            for dest in 0..self.size {
+                if dest != self.rank {
+                    self.send(dest, COLLECTIVE_TAG, v.clone())?;
+                }
+            }
+            Ok(v)
+        } else {
+            Ok(self.recv_matching(root, COLLECTIVE_TAG)?.payload)
+        }
+    }
+
+    /// All-reduce: every rank contributes `value`; every rank receives the fold of all
+    /// contributions (combined in rank order with `combine`).
+    pub fn all_reduce(&mut self, value: T, combine: impl Fn(T, T) -> T) -> Result<T, CommError>
+    where
+        T: Clone,
+    {
+        const ROOT: usize = 0;
+        if self.rank == ROOT {
+            // gather in rank order, fold, then broadcast the result
+            let mut acc = value;
+            let mut received: Vec<Envelope<T>> = Vec::with_capacity(self.size - 1);
+            for _ in 1..self.size {
+                received.push(self.recv_matching(ANY_SOURCE, COLLECTIVE_TAG)?);
+            }
+            received.sort_by_key(|e| e.source);
+            for env in received {
+                acc = combine(acc, env.payload);
+            }
+            for dest in 1..self.size {
+                self.send(dest, COLLECTIVE_TAG, acc.clone())?;
+            }
+            Ok(acc)
+        } else {
+            self.send(ROOT, COLLECTIVE_TAG, value)?;
+            Ok(self.recv_matching(ROOT, COLLECTIVE_TAG)?.payload)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_creation_assigns_ranks() {
+        let world = Universe::world::<u32>(3);
+        assert_eq!(world.len(), 3);
+        for (i, c) in world.iter().enumerate() {
+            assert_eq!(c.rank(), i);
+            assert_eq!(c.size(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_world_is_rejected() {
+        let _ = Universe::world::<u32>(0);
+    }
+
+    #[test]
+    fn point_to_point_send_and_recv_single_thread() {
+        let mut world = Universe::world::<String>(2);
+        let (left, right) = world.split_at_mut(1);
+        let a = &mut left[0];
+        let b = &mut right[0];
+        a.send(1, 5, "hello".to_string()).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.source, 0);
+        assert_eq!(env.tag, 5);
+        assert_eq!(env.payload, "hello");
+    }
+
+    #[test]
+    fn invalid_destination_is_reported() {
+        let world = Universe::world::<u32>(2);
+        assert_eq!(
+            world[0].send(5, 0, 1),
+            Err(CommError::InvalidRank { rank: 5, world_size: 2 })
+        );
+    }
+
+    #[test]
+    fn iprobe_sees_messages_without_consuming_them() {
+        let mut world = Universe::world::<u32>(2);
+        let (a, b) = { let (l, r) = world.split_at_mut(1); (&mut l[0], &mut r[0]) };
+        assert!(!b.iprobe(ANY_SOURCE, ANY_TAG));
+        a.send(1, 3, 42).unwrap();
+        assert!(b.iprobe(ANY_SOURCE, 3));
+        assert!(b.iprobe(0, ANY_TAG));
+        assert!(!b.iprobe(ANY_SOURCE, 4));
+        // probing did not consume it
+        let env = b.try_recv().unwrap();
+        assert_eq!(env.payload, 42);
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn selective_receive_skips_non_matching_messages() {
+        let mut world = Universe::world::<u32>(2);
+        let (a, b) = { let (l, r) = world.split_at_mut(1); (&mut l[0], &mut r[0]) };
+        a.send(1, 1, 10).unwrap();
+        a.send(1, 2, 20).unwrap();
+        a.send(1, 1, 11).unwrap();
+        // receive tag 2 first even though a tag-1 message arrived earlier
+        let env = b.recv_matching(ANY_SOURCE, 2).unwrap();
+        assert_eq!(env.payload, 20);
+        // the skipped messages are still deliverable, in order
+        assert_eq!(b.recv_matching(ANY_SOURCE, 1).unwrap().payload, 10);
+        assert_eq!(b.recv_matching(ANY_SOURCE, 1).unwrap().payload, 11);
+    }
+
+    #[test]
+    fn send_to_all_others_reaches_everyone_but_self() {
+        let mut world = Universe::world::<u32>(4);
+        world[2].send_to_all_others(9, 7).unwrap();
+        for (rank, comm) in world.iter_mut().enumerate() {
+            if rank == 2 {
+                assert!(comm.try_recv().is_none());
+            } else {
+                let env = comm.try_recv().unwrap();
+                assert_eq!(env.source, 2);
+                assert_eq!(env.payload, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_and_all_reduce_across_threads() {
+        let world = Universe::world::<u64>(4);
+        let results: Vec<(u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = world
+                .into_iter()
+                .map(|mut comm| {
+                    scope.spawn(move || {
+                        let rank = comm.rank() as u64;
+                        let bcast = comm
+                            .broadcast(1, if comm.rank() == 1 { Some(99) } else { None })
+                            .unwrap();
+                        let sum = comm.all_reduce(rank, |a, b| a + b).unwrap();
+                        (bcast, sum)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (bcast, sum) in results {
+            assert_eq!(bcast, 99);
+            assert_eq!(sum, 0 + 1 + 2 + 3);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let world = Universe::world::<()>(3);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for comm in world {
+                let counter = &counter;
+                scope.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    comm.barrier();
+                    // after the barrier every rank must observe all increments
+                    assert_eq!(counter.load(Ordering::SeqCst), 3);
+                });
+            }
+        });
+    }
+}

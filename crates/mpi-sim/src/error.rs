@@ -1,0 +1,42 @@
+//! Error types for the message-passing substrate.
+
+use std::fmt;
+
+/// Errors surfaced by communicator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The destination or source rank does not exist in this world.
+    InvalidRank { rank: usize, world_size: usize },
+    /// The peer's endpoint has been dropped, so the message can never be delivered.
+    Disconnected { peer: usize },
+    /// A blocking receive was interrupted because every sender disconnected.
+    ChannelClosed,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::InvalidRank { rank, world_size } => {
+                write!(f, "rank {rank} is outside the world of size {world_size}")
+            }
+            CommError::Disconnected { peer } => {
+                write!(f, "peer rank {peer} has disconnected")
+            }
+            CommError::ChannelClosed => write!(f, "all senders disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_ranks() {
+        assert!(CommError::InvalidRank { rank: 9, world_size: 4 }.to_string().contains('9'));
+        assert!(CommError::Disconnected { peer: 3 }.to_string().contains('3'));
+        assert!(CommError::ChannelClosed.to_string().contains("disconnected"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # mpi-sim — an in-process message-passing substrate with an MPI-shaped API
+//!
+//! The parallel solver of the IPPS 2012 paper is written against OpenMPI (§V-A): each
+//! core runs an independent Adaptive Search process, and every `c` iterations each
+//! process performs a *non-blocking test* (`MPI_Iprobe`-style) for a "someone found a
+//! solution" message, terminating as soon as one arrives.  No other communication
+//! takes place during the search.
+//!
+//! This crate provides exactly the API surface that scheme needs — ranks,
+//! point-to-point messages, non-blocking probes, and a few collectives — implemented
+//! over threads and lock-free channels so the `multiwalk` crate can be written the
+//! same way the paper's C/MPI driver is, while remaining a single OS process:
+//!
+//! * [`Universe`] — builds the ranks of a "world" communicator.
+//! * [`Communicator`] — per-rank endpoint: [`Communicator::send`],
+//!   [`Communicator::recv`], [`Communicator::try_recv`], [`Communicator::iprobe`],
+//!   plus [`Communicator::barrier`], [`Communicator::broadcast`] and
+//!   [`Communicator::all_reduce`].
+//! * [`run_world`] — the `mpirun` analogue: spawn one thread per rank, run a closure
+//!   on each, and collect every rank's result.
+//!
+//! The message payload type is generic (`T: Send`); envelopes carry the source rank
+//! and an integer tag, mirroring `MPI_Status` fields.
+
+pub mod collectives;
+pub mod comm;
+pub mod error;
+pub mod message;
+pub mod process;
+
+pub use comm::{Communicator, Universe};
+pub use error::CommError;
+pub use message::{Envelope, Tag, ANY_SOURCE, ANY_TAG};
+pub use process::{run_world, run_world_with_threads};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's termination pattern in miniature: the first rank to "find a
+    /// solution" notifies everyone else; the others notice it through a non-blocking
+    /// probe and stop.
+    #[test]
+    fn first_winner_terminates_everyone() {
+        const WINNER_TAG: Tag = 7;
+        let results = run_world(4, |comm| {
+            let me = comm.rank();
+            let mut iterations = 0u64;
+            loop {
+                iterations += 1;
+                // rank 2 "solves" the problem quickly
+                let solved = me == 2 && iterations == 50;
+                if solved {
+                    for peer in 0..comm.size() {
+                        if peer != me {
+                            comm.send(peer, WINNER_TAG, iterations).unwrap();
+                        }
+                    }
+                    return (me, iterations, true);
+                }
+                // everyone polls for a winner announcement every 8 iterations
+                if iterations % 8 == 0 {
+                    if comm.iprobe(ANY_SOURCE, WINNER_TAG) {
+                        let env = comm.recv_matching(ANY_SOURCE, WINNER_TAG).unwrap();
+                        assert_eq!(env.source, 2);
+                        return (me, iterations, false);
+                    }
+                    // On a single-CPU host the winner's thread may not have been
+                    // scheduled yet: yield so the test is not scheduling-dependent.
+                    std::thread::yield_now();
+                }
+                if iterations > 100_000_000 {
+                    panic!("rank {me} never observed the termination message");
+                }
+            }
+        });
+        assert_eq!(results.len(), 4);
+        let winners: Vec<_> = results.iter().filter(|(_, _, won)| *won).collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(winners[0].0, 2);
+    }
+}

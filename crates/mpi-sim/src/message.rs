@@ -1,0 +1,62 @@
+//! Message envelopes and addressing constants.
+
+/// Message tag, mirroring MPI's integer tags.
+pub type Tag = u32;
+
+/// Wildcard source rank for receive/probe operations (MPI_ANY_SOURCE).
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// Wildcard tag for receive/probe operations (MPI_ANY_TAG).
+pub const ANY_TAG: Tag = Tag::MAX;
+
+/// A delivered message: payload plus the metadata MPI exposes through `MPI_Status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<T> {
+    /// Rank of the sender.
+    pub source: usize,
+    /// Tag the sender attached.
+    pub tag: Tag,
+    /// The payload.
+    pub payload: T,
+}
+
+impl<T> Envelope<T> {
+    /// Create an envelope (used by the communicator internally and by tests).
+    pub fn new(source: usize, tag: Tag, payload: T) -> Self {
+        Self { source, tag, payload }
+    }
+
+    /// Does this envelope match a (possibly wildcarded) source/tag filter?
+    pub fn matches(&self, source: usize, tag: Tag) -> bool {
+        (source == ANY_SOURCE || self.source == source) && (tag == ANY_TAG || self.tag == tag)
+    }
+
+    /// Map the payload, keeping the metadata.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Envelope<U> {
+        Envelope { source: self.source, tag: self.tag, payload: f(self.payload) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_with_wildcards() {
+        let env = Envelope::new(3, 9, "hello");
+        assert!(env.matches(3, 9));
+        assert!(env.matches(ANY_SOURCE, 9));
+        assert!(env.matches(3, ANY_TAG));
+        assert!(env.matches(ANY_SOURCE, ANY_TAG));
+        assert!(!env.matches(2, 9));
+        assert!(!env.matches(3, 8));
+    }
+
+    #[test]
+    fn map_preserves_metadata() {
+        let env = Envelope::new(1, 2, 21u32).map(|x| x * 2);
+        assert_eq!(env.source, 1);
+        assert_eq!(env.tag, 2);
+        assert_eq!(env.payload, 42);
+    }
+}

@@ -1,0 +1,124 @@
+//! The `mpirun` analogue: spawn one OS thread per rank and collect results.
+
+use crate::comm::{Communicator, Universe};
+
+/// Run `f` on every rank of a fresh world of the given size, one OS thread per rank,
+/// and return the per-rank results in rank order.
+///
+/// This mirrors `mpirun -np <size>` for an SPMD program: the closure receives the
+/// rank's communicator and is executed concurrently with every other rank.
+///
+/// # Panics
+/// Panics if `size == 0` or if any rank's closure panics (the panic is propagated).
+pub fn run_world<T, R, F>(size: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut Communicator<T>) -> R + Sync,
+{
+    run_world_with_threads(size, size, f)
+}
+
+/// Like [`run_world`] but capping the number of OS threads actually used.
+///
+/// When `max_threads >= size` this is identical to [`run_world`].  When
+/// `max_threads < size`, ranks are executed in waves of at most `max_threads`
+/// concurrent threads (rank order preserved in the result).  This keeps worlds of
+/// hundreds of ranks runnable on small hosts, at the price of losing cross-wave
+/// concurrency — fine for the independent multi-walk workload, which never requires
+/// two specific ranks to be alive at the same time except for the final notification,
+/// whose delivery is asynchronous anyway.
+///
+/// # Panics
+/// Panics if `size == 0` or `max_threads == 0`, or if any rank's closure panics.
+pub fn run_world_with_threads<T, R, F>(size: usize, max_threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut Communicator<T>) -> R + Sync,
+{
+    assert!(size > 0, "world size must be positive");
+    assert!(max_threads > 0, "thread cap must be positive");
+    let world = Universe::world::<T>(size);
+    let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+    let f = &f;
+
+    let mut world_iter: Vec<Option<Communicator<T>>> = world.into_iter().map(Some).collect();
+    let mut next_rank = 0usize;
+    while next_rank < size {
+        let wave_end = (next_rank + max_threads).min(size);
+        let wave_ranks: Vec<usize> = (next_rank..wave_end).collect();
+        let mut wave_comms: Vec<(usize, Communicator<T>)> = wave_ranks
+            .iter()
+            .map(|&r| (r, world_iter[r].take().expect("each rank runs once")))
+            .collect();
+        let wave_results: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave_comms
+                .drain(..)
+                .map(|(rank, mut comm)| scope.spawn(move || (rank, f(&mut comm))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        });
+        for (rank, r) in wave_results {
+            results[rank] = Some(r);
+        }
+        next_rank = wave_end;
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every rank produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ANY_TAG;
+
+    #[test]
+    fn every_rank_runs_and_results_are_in_rank_order() {
+        let results: Vec<usize> = run_world::<(), _, _>(8, |comm| comm.rank() * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn ranks_can_exchange_messages_concurrently() {
+        // ring: each rank sends its rank to the next one and receives from the
+        // previous one
+        let results: Vec<(usize, usize)> = run_world::<usize, _, _>(5, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            comm.send(next, 0, comm.rank()).unwrap();
+            let env = comm.recv_matching(crate::ANY_SOURCE, ANY_TAG).unwrap();
+            (comm.rank(), env.payload)
+        });
+        for (rank, received) in results {
+            let expected = (rank + comm_size(5) - 1) % 5;
+            assert_eq!(received, expected, "rank {rank}");
+        }
+    }
+
+    fn comm_size(n: usize) -> usize {
+        n
+    }
+
+    #[test]
+    fn thread_cap_still_executes_every_rank() {
+        let results: Vec<usize> = run_world_with_threads::<(), _, _>(10, 3, |comm| comm.rank());
+        assert_eq!(results, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be positive")]
+    fn zero_world_size_panics() {
+        let _ = run_world::<(), usize, _>(0, |c| c.rank());
+    }
+
+    #[test]
+    #[should_panic(expected = "thread cap must be positive")]
+    fn zero_thread_cap_panics() {
+        let _ = run_world_with_threads::<(), usize, _>(2, 0, |c| c.rank());
+    }
+}

@@ -1,0 +1,172 @@
+//! Message-passing multi-walk: the paper's OpenMPI driver structure, written against
+//! the `mpi-sim` substrate.
+//!
+//! Every rank runs a sequential Adaptive Search engine.  Every `c` iterations (the
+//! engine's `stop_check_interval`) the rank performs a non-blocking probe; when a
+//! "winner" announcement has arrived it stops.  The first rank to solve announces its
+//! solution to every other rank.  No other communication takes place — the search
+//! walks are fully independent, which is what makes the scheme "pleasantly parallel"
+//! (paper §I, §V-A).
+
+use std::time::Instant;
+
+use adaptive_search::termination::{FnStop, StopReason};
+use adaptive_search::{SolveResult, SolveStatus};
+use mpi_sim::collectives::FirstResponder;
+use mpi_sim::run_world_with_threads;
+
+use crate::thread_runner::MultiWalkResult;
+use crate::walker::WalkSpec;
+
+/// Payload of the winner announcement: the winning rank's solution.
+type WinnerPayload = Vec<usize>;
+
+/// Per-rank record returned by each rank's closure.
+#[derive(Debug, Clone)]
+struct RankReport {
+    result: SolveResult,
+    announced: bool,
+}
+
+/// Runs independent walks as ranks of an `mpi-sim` world.
+#[derive(Debug, Clone)]
+pub struct MpiRunner {
+    spec: WalkSpec,
+    ranks: usize,
+    max_threads: usize,
+}
+
+impl MpiRunner {
+    /// Create a runner with one rank per walk, using at most as many OS threads as
+    /// ranks.
+    ///
+    /// # Panics
+    /// Panics if `ranks == 0`.
+    pub fn new(spec: WalkSpec, ranks: usize) -> Self {
+        assert!(ranks > 0, "at least one rank is required");
+        Self { spec, ranks, max_threads: ranks }
+    }
+
+    /// Cap the number of OS threads used to execute the ranks (ranks beyond the cap
+    /// run in later waves; see `mpi_sim::run_world_with_threads`).
+    ///
+    /// # Panics
+    /// Panics if `max_threads == 0`.
+    pub fn with_max_threads(mut self, max_threads: usize) -> Self {
+        assert!(max_threads > 0, "thread cap must be positive");
+        self.max_threads = max_threads;
+        self
+    }
+
+    /// Number of ranks (walks).
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Run the job.
+    pub fn run(&self, master_seed: u64) -> MultiWalkResult {
+        let start = Instant::now();
+        let spec = self.spec.clone();
+        let reports: Vec<RankReport> = run_world_with_threads::<WinnerPayload, _, _>(
+            self.ranks,
+            self.max_threads,
+            move |comm| {
+                let rank = comm.rank();
+                let mut engine = spec.build_engine(master_seed, rank);
+                // The stop condition is the paper's non-blocking probe: it fires when
+                // some other rank has announced a solution.
+                let mut winner_seen = false;
+                let result = {
+                    let winner_seen = &mut winner_seen;
+                    let comm_ref = &mut *comm;
+                    let mut stop = FnStop(move || {
+                        if FirstResponder::check(comm_ref).is_some() {
+                            *winner_seen = true;
+                            Some(StopReason::Cancelled)
+                        } else {
+                            None
+                        }
+                    });
+                    engine.solve_until(&mut stop)
+                };
+                let mut announced = false;
+                if result.status == SolveStatus::Solved {
+                    let solution = result.solution.clone().expect("solved implies solution");
+                    // Announce only if nobody else already did; a duplicate would be
+                    // harmless (extra pending messages), but checking first mirrors
+                    // the real implementation and keeps traffic minimal.
+                    if !winner_seen && FirstResponder::check(comm).is_none() {
+                        FirstResponder::announce(comm, solution).expect("announce");
+                        announced = true;
+                    }
+                }
+                RankReport { result, announced }
+            },
+        );
+
+        let elapsed = start.elapsed();
+        let winner = reports
+            .iter()
+            .position(|r| r.announced)
+            .or_else(|| reports.iter().position(|r| r.result.status == SolveStatus::Solved));
+        let solution = winner.and_then(|w| reports[w].result.solution.clone());
+        MultiWalkResult {
+            solution,
+            winner,
+            elapsed,
+            walks: self.ranks,
+            walk_results: reports.into_iter().map(|r| r.result).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_search::AsConfig;
+    use costas::is_costas_permutation;
+
+    #[test]
+    fn mpi_runner_solves_with_several_ranks() {
+        let runner = MpiRunner::new(WalkSpec::costas(11), 4);
+        let result = runner.run(7);
+        assert!(result.solved());
+        assert!(is_costas_permutation(result.solution.as_ref().unwrap()));
+        assert_eq!(result.walks, 4);
+        assert_eq!(result.walk_results.len(), 4);
+        let winner = result.winner.unwrap();
+        assert_eq!(result.walk_results[winner].status, SolveStatus::Solved);
+    }
+
+    #[test]
+    fn mpi_runner_with_thread_cap_still_completes() {
+        // 6 ranks on at most 2 threads: later waves start after earlier ones finish,
+        // but every rank still solves or is stopped, and a solution is reported.
+        let runner = MpiRunner::new(WalkSpec::costas(10), 6).with_max_threads(2);
+        let result = runner.run(3);
+        assert!(result.solved());
+        assert_eq!(result.walk_results.len(), 6);
+    }
+
+    #[test]
+    fn mpi_runner_reports_failure_when_budget_too_small() {
+        let spec = WalkSpec::costas(18)
+            .with_config(AsConfig::builder().max_iterations(10).build());
+        let runner = MpiRunner::new(spec, 3);
+        let result = runner.run(1);
+        assert!(!result.solved());
+        assert_eq!(result.winner, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = MpiRunner::new(WalkSpec::costas(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread cap must be positive")]
+    fn zero_thread_cap_rejected() {
+        let _ = MpiRunner::new(WalkSpec::costas(5), 2).with_max_threads(0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Platform profiles for the virtual cluster.
+//!
+//! The paper evaluates the very same algorithm on three machines whose cores differ
+//! only in speed (HA8000 Opteron 2.3 GHz, Grid'5000 Suno/Helios Xeon/Opteron ≈2.3 GHz,
+//! JUGENE PowerPC 450 at 850 MHz — "significantly slower", §V-B).  Since independent
+//! multi-walk performance is a function of (a) the per-core iteration rate and (b) the
+//! runtime distribution of the sequential algorithm, a platform is fully described for
+//! simulation purposes by a relative core-speed factor and a small start-up overhead.
+//!
+//! The factors below are derived from the paper's own cross-platform figures (e.g.
+//! 1-core CAP 18: 6.76 s on HA8000 vs 5.28 s on Suno vs 8.16 s on Helios) and from the
+//! stated 2.3 GHz vs 850 MHz clock ratio for JUGENE.  They only rescale absolute
+//! seconds; speed-up curves are invariant to them.
+
+/// A named machine profile used to convert virtual iterations into seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformProfile {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Core speed relative to the reference platform (HA8000 = 1.0).
+    pub speed_factor: f64,
+    /// Fixed per-job overhead in seconds (deployment/startup; the paper reports it as
+    /// negligible on big benchmarks, so the defaults are 0).
+    pub startup_seconds: f64,
+    /// Largest core count the paper exercised on this platform (informational).
+    pub max_cores: usize,
+}
+
+impl PlatformProfile {
+    /// Hitachi HA8000 (University of Tokyo): AMD Opteron 2.3 GHz, up to 256 cores used.
+    pub fn ha8000() -> Self {
+        Self { name: "HA8000", speed_factor: 1.0, startup_seconds: 0.0, max_cores: 256 }
+    }
+
+    /// Grid'5000 Suno cluster (Sophia-Antipolis): Dell PowerEdge R410, 256 cores used.
+    pub fn suno() -> Self {
+        Self { name: "Grid5000/Suno", speed_factor: 1.20, startup_seconds: 0.0, max_cores: 256 }
+    }
+
+    /// Grid'5000 Helios cluster (Sophia-Antipolis): Sun Fire X4100, 128 cores used.
+    pub fn helios() -> Self {
+        Self { name: "Grid5000/Helios", speed_factor: 0.85, startup_seconds: 0.0, max_cores: 128 }
+    }
+
+    /// IBM Blue Gene/P JUGENE (Jülich): PowerPC 450 at 850 MHz, 8,192 cores used.
+    pub fn jugene() -> Self {
+        Self { name: "JUGENE", speed_factor: 0.30, startup_seconds: 0.0, max_cores: 8192 }
+    }
+
+    /// The local host, treated as the reference speed.
+    pub fn local() -> Self {
+        Self { name: "local", speed_factor: 1.0, startup_seconds: 0.0, max_cores: 1 << 20 }
+    }
+
+    /// All paper platforms, in the order the tables present them.
+    pub fn paper_platforms() -> Vec<PlatformProfile> {
+        vec![Self::ha8000(), Self::suno(), Self::helios(), Self::jugene()]
+    }
+
+    /// Convert a number of engine iterations into virtual seconds on this platform,
+    /// given the reference platform's iteration rate.
+    pub fn seconds_for(&self, iterations: u64, reference_iterations_per_second: f64) -> f64 {
+        assert!(
+            reference_iterations_per_second > 0.0,
+            "iteration rate must be positive"
+        );
+        self.startup_seconds + iterations as f64 / (reference_iterations_per_second * self.speed_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_sane_factors() {
+        for p in PlatformProfile::paper_platforms() {
+            assert!(p.speed_factor > 0.0 && p.speed_factor <= 2.0, "{}", p.name);
+            assert!(p.startup_seconds >= 0.0);
+            assert!(p.max_cores >= 128);
+        }
+        assert!(PlatformProfile::jugene().speed_factor < PlatformProfile::ha8000().speed_factor);
+    }
+
+    #[test]
+    fn seconds_scale_inversely_with_speed() {
+        let iters = 1_000_000u64;
+        let rate = 500_000.0;
+        let fast = PlatformProfile::ha8000().seconds_for(iters, rate);
+        let slow = PlatformProfile::jugene().seconds_for(iters, rate);
+        assert!((fast - 2.0).abs() < 1e-9);
+        assert!(slow > fast * 3.0);
+    }
+
+    #[test]
+    fn startup_overhead_is_added() {
+        let mut p = PlatformProfile::local();
+        p.startup_seconds = 1.5;
+        assert!((p.seconds_for(0, 1000.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        PlatformProfile::local().seconds_for(1, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Thread-backed independent multi-walk: one OS thread per walk, first solution wins.
+//!
+//! This is the execution mode a user with a multi-core workstation wants: it delivers
+//! real wall-clock speed-up, bounded by the number of hardware threads.  Termination
+//! mirrors the paper's scheme — each walk checks a shared flag every `c` iterations
+//! (the flag plays the role of the MPI "solution found" message) and stops as soon as
+//! it is raised.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adaptive_search::termination::FlagStop;
+use adaptive_search::{SolveResult, SolveStatus};
+use parking_lot::Mutex;
+
+use crate::walker::WalkSpec;
+
+/// Outcome of one multi-walk job.
+#[derive(Debug, Clone)]
+pub struct MultiWalkResult {
+    /// The solution found (a permutation of `1..=n`), if any walk succeeded.
+    pub solution: Option<Vec<usize>>,
+    /// Rank of the first walk that found a solution.
+    pub winner: Option<usize>,
+    /// Wall-clock time of the whole job.
+    pub elapsed: Duration,
+    /// Number of walks that were run.
+    pub walks: usize,
+    /// Per-walk results, indexed by rank.
+    pub walk_results: Vec<SolveResult>,
+}
+
+impl MultiWalkResult {
+    /// Did any walk find a solution?
+    pub fn solved(&self) -> bool {
+        self.solution.is_some()
+    }
+
+    /// Total iterations summed over all walks (the "work" of the job).
+    pub fn total_iterations(&self) -> u64 {
+        self.walk_results.iter().map(|r| r.stats.iterations).sum()
+    }
+
+    /// Iterations of the winning walk (the "critical path" in the machine-independent
+    /// unit used by the virtual cluster).
+    pub fn winner_iterations(&self) -> Option<u64> {
+        self.winner.map(|w| self.walk_results[w].stats.iterations)
+    }
+}
+
+/// Runs `workers` independent walks on OS threads.
+#[derive(Debug, Clone)]
+pub struct ThreadRunner {
+    spec: WalkSpec,
+    workers: usize,
+}
+
+impl ThreadRunner {
+    /// Create a runner for `workers` concurrent walks of `spec`.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(spec: WalkSpec, workers: usize) -> Self {
+        assert!(workers > 0, "at least one walk is required");
+        Self { spec, workers }
+    }
+
+    /// The walk specification.
+    pub fn spec(&self) -> &WalkSpec {
+        &self.spec
+    }
+
+    /// Number of concurrent walks.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run the job: all walks start from rank-specific chaotic seeds derived from
+    /// `master_seed`, and the first walk to reach cost zero raises the shared flag.
+    pub fn run(&self, master_seed: u64) -> MultiWalkResult {
+        let start = Instant::now();
+        let found = Arc::new(AtomicBool::new(false));
+        let winner: Arc<Mutex<Option<(usize, Vec<usize>)>>> = Arc::new(Mutex::new(None));
+
+        let mut walk_results: Vec<Option<SolveResult>> =
+            (0..self.workers).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|rank| {
+                    let spec = self.spec.clone();
+                    let found = found.clone();
+                    let winner = winner.clone();
+                    scope.spawn(move || {
+                        let mut engine = spec.build_engine(master_seed, rank);
+                        let mut stop = FlagStop::new(found.clone());
+                        let result = engine.solve_until(&mut stop);
+                        if result.status == SolveStatus::Solved {
+                            // First writer wins; later solvers keep their result but
+                            // do not overwrite the winner record.
+                            let mut guard = winner.lock();
+                            if guard.is_none() {
+                                *guard = Some((
+                                    rank,
+                                    result.solution.clone().expect("solved implies solution"),
+                                ));
+                            }
+                            found.store(true, Ordering::Relaxed);
+                        }
+                        (rank, result)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (rank, result) = handle.join().expect("walk thread panicked");
+                walk_results[rank] = Some(result);
+            }
+        });
+
+        let elapsed = start.elapsed();
+        let winner_record = winner.lock().clone();
+        MultiWalkResult {
+            solution: winner_record.as_ref().map(|(_, sol)| sol.clone()),
+            winner: winner_record.map(|(rank, _)| rank),
+            elapsed,
+            walks: self.workers,
+            walk_results: walk_results
+                .into_iter()
+                .map(|r| r.expect("every walk reports"))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_search::AsConfig;
+    use costas::is_costas_permutation;
+
+    #[test]
+    fn single_walk_behaves_like_sequential_solve() {
+        let runner = ThreadRunner::new(WalkSpec::costas(11), 1);
+        let result = runner.run(5);
+        assert!(result.solved());
+        assert_eq!(result.winner, Some(0));
+        assert_eq!(result.walks, 1);
+        assert!(is_costas_permutation(result.solution.as_ref().unwrap()));
+        assert_eq!(result.total_iterations(), result.walk_results[0].stats.iterations);
+    }
+
+    #[test]
+    fn multiple_walks_terminate_after_first_success() {
+        let runner = ThreadRunner::new(WalkSpec::costas(12), 4);
+        let result = runner.run(99);
+        assert!(result.solved());
+        let winner = result.winner.unwrap();
+        assert!(winner < 4);
+        assert!(is_costas_permutation(result.solution.as_ref().unwrap()));
+        // every non-winning walk either solved independently or was stopped/limited
+        for (rank, r) in result.walk_results.iter().enumerate() {
+            if rank != winner {
+                assert!(
+                    matches!(
+                        r.status,
+                        SolveStatus::ExternallyStopped | SolveStatus::Solved | SolveStatus::IterationLimit
+                    ),
+                    "rank {rank}: {:?}",
+                    r.status
+                );
+            }
+        }
+        assert!(result.winner_iterations().is_some());
+    }
+
+    #[test]
+    fn unsolvable_budget_reports_failure_for_all_walks() {
+        // Give every walk a tiny iteration budget on a hard instance: nobody solves.
+        let spec = WalkSpec::costas(18)
+            .with_config(AsConfig::builder().max_iterations(20).build());
+        let runner = ThreadRunner::new(spec, 3);
+        let result = runner.run(1);
+        assert!(!result.solved());
+        assert_eq!(result.winner, None);
+        assert!(result.walk_results.iter().all(|r| r.status == SolveStatus::IterationLimit));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn zero_workers_rejected() {
+        let _ = ThreadRunner::new(WalkSpec::costas(5), 0);
+    }
+
+    #[test]
+    fn reproducible_given_same_master_seed_and_single_walk() {
+        let runner = ThreadRunner::new(WalkSpec::costas(10), 1);
+        let a = runner.run(33);
+        let b = runner.run(33);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(
+            a.walk_results[0].stats.iterations,
+            b.walk_results[0].stats.iterations
+        );
+    }
+}

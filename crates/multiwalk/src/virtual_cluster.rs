@@ -1,0 +1,386 @@
+//! The virtual cluster: reproducing the paper's 32–8,192-core experiments on a small
+//! host.
+//!
+//! Because the parallel scheme is *independent* multi-walk (no communication during
+//! the search), the wall-clock time of a K-core job is, up to the termination-check
+//! granularity `c` and a negligible notification delay, the **minimum over K
+//! independently seeded sequential walks of their completion time**.  The virtual
+//! cluster exploits this exact property — the same one the paper's own analysis
+//! (§V-B, time-to-target plots and [Verhoeven & Aarts]) relies on:
+//!
+//! * [`VirtualCluster::run_exact`] actually runs K walks, interleaving them in blocks
+//!   of `c` iterations on a round-robin schedule, and stops as soon as one solves.
+//!   This is a faithful simulation (every walk executes the real engine on the real
+//!   problem); only the notion of time changes: the virtual clock counts *iterations
+//!   of the winning walk*, the machine-independent unit Table I also reports.
+//! * [`VirtualCluster::run_sampled`] draws the K walks' completion iteration counts
+//!   from an empirical distribution previously measured with real sequential runs,
+//!   and takes the minimum.  This makes 8,192-core points affordable when running
+//!   8,192 real walks would not be; it is statistically equivalent as long as the
+//!   empirical sample is representative (EXPERIMENTS.md reports which mode produced
+//!   which table).
+//!
+//! A [`PlatformProfile`] converts the virtual clock into seconds for the machine being
+//! simulated, using an iteration rate calibrated on the local host.
+
+use adaptive_search::{PermutationProblem, StepOutcome};
+use xrand::{RandExt, SeedSequence};
+
+use crate::platform::PlatformProfile;
+use crate::walker::WalkSpec;
+
+/// Result of one simulated parallel job.
+#[derive(Debug, Clone)]
+pub struct SimulatedRun {
+    /// Number of simulated cores (walks).
+    pub cores: usize,
+    /// Rank of the winning walk, if any.
+    pub winner_rank: Option<usize>,
+    /// Iterations executed by the winning walk (the virtual critical path).
+    pub winner_iterations: u64,
+    /// Virtual wall-clock seconds on the simulated platform.
+    pub virtual_seconds: f64,
+    /// Total iterations executed across all walks (the work performed).
+    pub total_iterations: u64,
+    /// The solution found, when the run was executed exactly (sampled runs carry
+    /// `None`).
+    pub solution: Option<Vec<usize>>,
+}
+
+impl SimulatedRun {
+    /// Did the job find a solution (always true for sampled runs, which model only
+    /// successful completions)?
+    pub fn solved(&self) -> bool {
+        self.winner_rank.is_some()
+    }
+}
+
+/// Simulator of a K-core independent multi-walk job.
+#[derive(Debug, Clone)]
+pub struct VirtualCluster {
+    platform: PlatformProfile,
+    reference_iterations_per_second: f64,
+}
+
+impl VirtualCluster {
+    /// Default reference iteration rate used when no calibration has been performed.
+    /// The exact value only affects the absolute seconds printed next to the
+    /// machine-independent iteration counts.
+    pub const DEFAULT_REFERENCE_RATE: f64 = 1_000_000.0;
+
+    /// Create a simulator for the given platform with the default reference rate.
+    pub fn new(platform: PlatformProfile) -> Self {
+        Self { platform, reference_iterations_per_second: Self::DEFAULT_REFERENCE_RATE }
+    }
+
+    /// Override the reference iteration rate (iterations/second of one reference-
+    /// platform core), e.g. with a value obtained from [`VirtualCluster::calibrate`].
+    pub fn with_reference_rate(mut self, iterations_per_second: f64) -> Self {
+        assert!(iterations_per_second > 0.0, "iteration rate must be positive");
+        self.reference_iterations_per_second = iterations_per_second;
+        self
+    }
+
+    /// The platform being simulated.
+    pub fn platform(&self) -> &PlatformProfile {
+        &self.platform
+    }
+
+    /// The reference iteration rate in use.
+    pub fn reference_rate(&self) -> f64 {
+        self.reference_iterations_per_second
+    }
+
+    /// Measure the local host's sequential iteration rate for `spec` by running a
+    /// real engine for `budget_iterations` iterations.
+    pub fn calibrate(spec: &WalkSpec, budget_iterations: u64, seed: u64) -> f64 {
+        let mut engine = spec.build_engine(seed, 0);
+        let start = std::time::Instant::now();
+        let mut done = 0u64;
+        while done < budget_iterations {
+            if engine.step() == StepOutcome::Solved {
+                // Solved before exhausting the budget: restart and keep measuring so
+                // the rate covers a representative mix of search phases.
+                engine.restart();
+            }
+            done += 1;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            done as f64 / secs
+        } else {
+            Self::DEFAULT_REFERENCE_RATE
+        }
+    }
+
+    fn seconds(&self, iterations: u64) -> f64 {
+        self.platform
+            .seconds_for(iterations, self.reference_iterations_per_second)
+    }
+
+    /// Exact simulation: run `cores` real walks, interleaved in blocks of the spec's
+    /// termination-check interval `c`, stopping as soon as one walk solves.
+    ///
+    /// The returned `winner_iterations` is the iteration count of the winning walk at
+    /// the moment it solved; `total_iterations` is the work executed by all walks up
+    /// to the end of the block in which the winner finished (every other walk would
+    /// notice the termination message at its next check, exactly as in the paper).
+    ///
+    /// # Panics
+    /// Panics if `cores == 0`.
+    pub fn run_exact(&self, spec: &WalkSpec, cores: usize, master_seed: u64) -> SimulatedRun {
+        assert!(cores > 0, "a job needs at least one core");
+        let check = spec.check_interval().max(1);
+        let mut engines: Vec<_> = (0..cores)
+            .map(|rank| spec.build_engine(master_seed, rank))
+            .collect();
+        let budget = spec.config.max_iterations;
+
+        let mut winner: Option<(usize, u64)> = None;
+        let mut solution: Option<Vec<usize>> = None;
+        let mut executed: u64 = 0;
+        let mut block_start: u64 = 0;
+        'outer: loop {
+            // Every walk executes one block of `c` iterations (round-robin).
+            for (rank, engine) in engines.iter_mut().enumerate() {
+                for step_in_block in 0..check {
+                    if engine.step() == StepOutcome::Solved {
+                        let iters = block_start + step_in_block + 1;
+                        executed += step_in_block + 1;
+                        match winner {
+                            Some((_, best)) if best <= iters => {}
+                            _ => {
+                                winner = Some((rank, iters));
+                                solution =
+                                    Some(engine.problem().configuration().to_vec());
+                            }
+                        }
+                        // The rest of this walk's block is not executed: it has
+                        // finished.  Other walks still complete the current block
+                        // (they only poll at block boundaries).
+                        break;
+                    }
+                    if step_in_block == check - 1 {
+                        executed += check;
+                    }
+                }
+                // A walk that exceeded its per-walk budget without solving just idles.
+                if winner.is_none() && block_start + check >= budget && rank == cores - 1 {
+                    break 'outer;
+                }
+            }
+            if winner.is_some() {
+                break;
+            }
+            block_start += check;
+            if block_start >= budget {
+                break;
+            }
+        }
+
+        let (winner_rank, winner_iterations) = match winner {
+            Some((rank, iters)) => (Some(rank), iters),
+            None => (None, block_start.min(budget)),
+        };
+        SimulatedRun {
+            cores,
+            winner_rank,
+            winner_iterations,
+            virtual_seconds: self.seconds(winner_iterations),
+            total_iterations: executed,
+            solution,
+        }
+    }
+
+    /// Run `runs` independent exact simulations (the protocol behind one table cell:
+    /// the paper uses 50 runs per instance × core-count).
+    pub fn run_exact_many(
+        &self,
+        spec: &WalkSpec,
+        cores: usize,
+        runs: usize,
+        master_seed: u64,
+    ) -> Vec<SimulatedRun> {
+        let seeds = SeedSequence::new(master_seed);
+        (0..runs)
+            .map(|r| self.run_exact(spec, cores, seeds.child(r as u64).seed()))
+            .collect()
+    }
+
+    /// Sampled simulation: model each walk's completion as an independent draw from
+    /// `iteration_samples` (an empirical distribution of *sequential* completion
+    /// iteration counts measured with the real engine), and the job's completion as
+    /// the minimum over `cores` draws, rounded up to the termination-check interval.
+    ///
+    /// # Panics
+    /// Panics if `iteration_samples` is empty or `cores == 0`.
+    pub fn run_sampled(
+        &self,
+        iteration_samples: &[u64],
+        check_interval: u64,
+        cores: usize,
+        master_seed: u64,
+    ) -> SimulatedRun {
+        assert!(!iteration_samples.is_empty(), "need at least one runtime sample");
+        assert!(cores > 0, "a job needs at least one core");
+        let mut rng = xrand::default_rng(master_seed);
+        let check = check_interval.max(1);
+        let mut best = u64::MAX;
+        let mut best_rank = 0usize;
+        let mut total = 0u64;
+        for rank in 0..cores {
+            let draw = iteration_samples[rng.index(iteration_samples.len())];
+            // every non-winning walk works until the winner's completion is noticed
+            total = total.saturating_add(draw.min(best));
+            if draw < best {
+                best = draw;
+                best_rank = rank;
+            }
+        }
+        // Round the critical path up to the next termination check boundary.
+        let winner_iterations = best.div_ceil(check) * check;
+        SimulatedRun {
+            cores,
+            winner_rank: Some(best_rank),
+            winner_iterations,
+            virtual_seconds: self.seconds(winner_iterations),
+            total_iterations: total,
+            solution: None,
+        }
+    }
+
+    /// Run `runs` sampled simulations.
+    pub fn run_sampled_many(
+        &self,
+        iteration_samples: &[u64],
+        check_interval: u64,
+        cores: usize,
+        runs: usize,
+        master_seed: u64,
+    ) -> Vec<SimulatedRun> {
+        let seeds = SeedSequence::new(master_seed);
+        (0..runs)
+            .map(|r| {
+                self.run_sampled(
+                    iteration_samples,
+                    check_interval,
+                    cores,
+                    seeds.child(r as u64).seed(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_search::AsConfig;
+    use costas::is_costas_permutation;
+
+    fn cluster() -> VirtualCluster {
+        VirtualCluster::new(PlatformProfile::local()).with_reference_rate(1_000_000.0)
+    }
+
+    #[test]
+    fn exact_run_finds_a_real_solution() {
+        let spec = WalkSpec::costas(11);
+        let run = cluster().run_exact(&spec, 4, 42);
+        assert!(run.solved());
+        assert!(is_costas_permutation(run.solution.as_ref().unwrap()));
+        assert!(run.winner_iterations > 0);
+        assert!(run.total_iterations >= run.winner_iterations);
+        assert!(run.virtual_seconds > 0.0);
+        assert_eq!(run.cores, 4);
+    }
+
+    #[test]
+    fn more_cores_never_slow_down_the_virtual_clock_on_average() {
+        // Statistical sanity check of the min-of-K law on a small instance: the mean
+        // winner iteration count over several runs should not increase when going
+        // from 1 to 8 cores.
+        let spec = WalkSpec::costas(10);
+        let c = cluster();
+        let one: Vec<_> = c.run_exact_many(&spec, 1, 12, 7);
+        let eight: Vec<_> = c.run_exact_many(&spec, 8, 12, 7);
+        let avg = |runs: &[SimulatedRun]| {
+            runs.iter().map(|r| r.winner_iterations as f64).sum::<f64>() / runs.len() as f64
+        };
+        assert!(
+            avg(&eight) <= avg(&one),
+            "8 cores should be at least as fast: {} vs {}",
+            avg(&eight),
+            avg(&one)
+        );
+    }
+
+    #[test]
+    fn exact_run_respects_iteration_budget() {
+        let spec = WalkSpec::costas(18)
+            .with_config(AsConfig::builder().max_iterations(64).stop_check_interval(16).build());
+        let run = cluster().run_exact(&spec, 2, 3);
+        assert!(!run.solved());
+        assert!(run.winner_iterations <= 64);
+        assert!(run.solution.is_none());
+    }
+
+    #[test]
+    fn sampled_run_takes_the_minimum_draw() {
+        let c = cluster();
+        let samples = vec![1000u64, 2000, 4000, 8000];
+        // With many cores the minimum sample is drawn almost surely.
+        let run = c.run_sampled(&samples, 1, 256, 5);
+        assert_eq!(run.winner_iterations, 1000);
+        assert!(run.solved());
+        assert!(run.total_iterations >= run.winner_iterations);
+        // With a check interval of 300 the critical path rounds up to 1200.
+        let run = c.run_sampled(&samples, 300, 256, 5);
+        assert_eq!(run.winner_iterations, 1200);
+    }
+
+    #[test]
+    fn sampled_runs_shrink_with_core_count() {
+        let c = cluster();
+        // a long-tailed sample set
+        let samples: Vec<u64> = (1..=200).map(|i| i * i * 10).collect();
+        let avg = |cores: usize| {
+            let runs = c.run_sampled_many(&samples, 1, cores, 40, 11);
+            runs.iter().map(|r| r.winner_iterations as f64).sum::<f64>() / runs.len() as f64
+        };
+        let a1 = avg(1);
+        let a32 = avg(32);
+        let a256 = avg(256);
+        assert!(a32 < a1 / 4.0, "32 cores: {a32} vs 1 core: {a1}");
+        assert!(a256 <= a32);
+    }
+
+    #[test]
+    fn platform_factor_rescales_seconds_only() {
+        let spec = WalkSpec::costas(9);
+        let fast = VirtualCluster::new(PlatformProfile::ha8000()).with_reference_rate(1e6);
+        let slow = VirtualCluster::new(PlatformProfile::jugene()).with_reference_rate(1e6);
+        let rf = fast.run_exact(&spec, 2, 123);
+        let rs = slow.run_exact(&spec, 2, 123);
+        // identical seeds → identical virtual iterations, different seconds
+        assert_eq!(rf.winner_iterations, rs.winner_iterations);
+        assert!(rs.virtual_seconds > rf.virtual_seconds * 2.0);
+    }
+
+    #[test]
+    fn calibration_returns_a_positive_rate() {
+        let rate = VirtualCluster::calibrate(&WalkSpec::costas(12), 2_000, 1);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        cluster().run_exact(&WalkSpec::costas(8), 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime sample")]
+    fn empty_samples_rejected() {
+        cluster().run_sampled(&[], 1, 4, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Walk specification: what every independent walk of a multi-walk job runs.
+
+use adaptive_search::{AsConfig, CostasModelConfig, CostasProblem, Engine};
+use xrand::ChaoticSeeder;
+
+/// The instance and configuration shared by every walk of a multi-walk job.
+///
+/// Each walk differs only in its random seed, which is derived from the job's master
+/// seed through the chaotic-map seeder (paper §III-B3) so that ranks 0, 1, 2, … get
+/// decorrelated streams.
+#[derive(Debug, Clone)]
+pub struct WalkSpec {
+    /// Order of the CAP instance.
+    pub n: usize,
+    /// Cost-model configuration (optimised by default).
+    pub model: CostasModelConfig,
+    /// Engine configuration (paper defaults by default).
+    pub config: AsConfig,
+}
+
+impl WalkSpec {
+    /// The paper's configuration for a CAP instance of order `n`.
+    pub fn costas(n: usize) -> Self {
+        Self {
+            n,
+            model: CostasModelConfig::optimized(),
+            config: AsConfig::costas_defaults(n),
+        }
+    }
+
+    /// Override the cost model.
+    pub fn with_model(mut self, model: CostasModelConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Override the engine configuration.
+    pub fn with_config(mut self, config: AsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// How often walks poll for termination (the paper's `c`).
+    pub fn check_interval(&self) -> u64 {
+        self.config.stop_check_interval
+    }
+
+    /// Build the chaotic seeder all walks of a job share.
+    pub fn seeder(&self, master_seed: u64) -> ChaoticSeeder {
+        ChaoticSeeder::new(master_seed)
+    }
+
+    /// Build the engine for a given rank of a job seeded with `master_seed`.
+    pub fn build_engine(&self, master_seed: u64, rank: usize) -> Engine<CostasProblem> {
+        let seed = self.seeder(master_seed).seed_for_rank(rank as u64);
+        let problem = CostasProblem::with_config(self.n, self.model);
+        Engine::new(problem, self.config.clone(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_search::PermutationProblem;
+
+    #[test]
+    fn spec_builds_engines_with_decorrelated_seeds() {
+        let spec = WalkSpec::costas(10);
+        let e0 = spec.build_engine(7, 0);
+        let e1 = spec.build_engine(7, 1);
+        // Different ranks start from different random configurations (overwhelmingly).
+        assert_ne!(e0.problem().configuration(), e1.problem().configuration());
+        // Same rank and master seed → identical start.
+        let e0b = spec.build_engine(7, 0);
+        assert_eq!(e0.problem().configuration(), e0b.problem().configuration());
+    }
+
+    #[test]
+    fn spec_builders_apply_overrides() {
+        let spec = WalkSpec::costas(9)
+            .with_model(CostasModelConfig::basic())
+            .with_config(AsConfig::builder().stop_check_interval(17).build());
+        assert_eq!(spec.check_interval(), 17);
+        let engine = spec.build_engine(1, 0);
+        assert_eq!(engine.problem().size(), 9);
+        assert!(!engine.problem().config().dedicated_reset);
+    }
+
+    #[test]
+    fn seeder_is_shared_across_ranks() {
+        let spec = WalkSpec::costas(8);
+        let s = spec.seeder(5);
+        assert_eq!(s.seed_for_rank(3), spec.seeder(5).seed_for_rank(3));
+    }
+}

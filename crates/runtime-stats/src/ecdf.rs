@@ -1,0 +1,124 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF built from a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from a sample.
+    ///
+    /// # Panics
+    /// Panics if the sample is empty or contains NaN.
+    pub fn new(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "ECDF of an empty sample");
+        assert!(sample.iter().all(|v| !v.is_nan()), "NaN in ECDF sample");
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Self { sorted }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when built from zero observations (never: the constructor forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `F̂(x)` = fraction of observations ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // binary search for the partition point
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile: the smallest observation `v` with `F̂(v) ≥ q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[idx - 1]
+    }
+
+    /// The plotting positions `(x_i, (i − 0.5)/n)` used by time-to-target plots.
+    pub fn plotting_points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i as f64 + 0.5) / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_counts_fraction_below() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn eval_is_monotone() {
+        let e = Ecdf::new(&[5.0, 1.0, 3.0, 3.0, 2.0]);
+        let xs = [-1.0, 0.0, 1.0, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0];
+        for w in xs.windows(2) {
+            assert!(e.eval(w[0]) <= e.eval(w[1]));
+        }
+    }
+
+    #[test]
+    fn quantiles_pick_order_statistics() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.2), 10.0);
+        assert_eq!(e.quantile(0.5), 30.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        assert_eq!(e.quantile(0.61), 40.0);
+    }
+
+    #[test]
+    fn plotting_points_are_sorted_and_in_unit_interval() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0]);
+        let pts = e.plotting_points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!(pts.iter().all(|&(_, p)| p > 0.0 && p < 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Ecdf::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        Ecdf::new(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Shifted-exponential fitting (the runtime-distribution model of §V-B).
+//!
+//! The paper, following Aiex / Resende / Ribeiro's time-to-target methodology, checks
+//! whether the runtime distribution of the stochastic search can be approximated by a
+//! *shifted* exponential `F(x) = 1 − e^{−(x−µ)/λ}`, because — by the classical result
+//! quoted from Verhoeven & Aarts — an exponential runtime distribution is exactly the
+//! condition under which independent multiple-walk parallelism yields linear speed-up.
+//!
+//! The maximum-likelihood estimates for a shifted exponential are simple:
+//! `µ̂ = min(sample)` and `λ̂ = mean(sample) − min(sample)`.  The Kolmogorov–Smirnov
+//! distance against the fitted distribution quantifies how good the approximation is.
+
+use crate::ecdf::Ecdf;
+
+/// A shifted exponential distribution `F(x) = 1 − e^{−(x−µ)/λ}` for `x ≥ µ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftedExponential {
+    /// Shift (location) parameter µ ≥ 0.
+    pub mu: f64,
+    /// Scale parameter λ > 0 (the mean excess over the shift).
+    pub lambda: f64,
+}
+
+impl ShiftedExponential {
+    /// Construct directly from parameters.
+    ///
+    /// # Panics
+    /// Panics if `lambda <= 0` or the parameters are not finite.
+    pub fn new(mu: f64, lambda: f64) -> Self {
+        assert!(mu.is_finite() && lambda.is_finite(), "parameters must be finite");
+        assert!(lambda > 0.0, "lambda must be positive");
+        Self { mu, lambda }
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.mu {
+            0.0
+        } else {
+            1.0 - (-(x - self.mu) / self.lambda).exp()
+        }
+    }
+
+    /// Quantile function (inverse CDF) for `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1)");
+        self.mu - self.lambda * (1.0 - p).ln()
+    }
+
+    /// Mean of the distribution: `µ + λ`.
+    pub fn mean(&self) -> f64 {
+        self.mu + self.lambda
+    }
+
+    /// Expected value of the minimum of `k` independent draws: `µ + λ/k`.
+    ///
+    /// This is the order-statistics identity behind the paper's linear speed-up: for a
+    /// pure exponential (µ = 0) the expected parallel time with `k` walks is the
+    /// sequential mean divided by `k`; a non-zero shift µ bounds the achievable
+    /// speed-up by `(µ + λ)/µ` as `k → ∞`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn expected_min_of(&self, k: usize) -> f64 {
+        assert!(k > 0, "k must be positive");
+        self.mu + self.lambda / k as f64
+    }
+
+    /// Predicted speed-up of `k` independent walks relative to one walk.
+    pub fn predicted_speedup(&self, k: usize) -> f64 {
+        self.mean() / self.expected_min_of(k)
+    }
+}
+
+/// Fit a shifted exponential to a sample by maximum likelihood.
+///
+/// Returns `None` when the sample has fewer than two observations or no spread (all
+/// values equal), in which case no meaningful scale can be estimated.
+pub fn fit_shifted_exponential(sample: &[f64]) -> Option<ShiftedExponential> {
+    if sample.len() < 2 || sample.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = sample.iter().sum::<f64>() / sample.len() as f64;
+    let lambda = mean - min;
+    if lambda <= 0.0 {
+        return None;
+    }
+    Some(ShiftedExponential { mu: min, lambda })
+}
+
+/// Kolmogorov–Smirnov distance between the empirical CDF of `sample` and `dist`.
+pub fn ks_distance(sample: &[f64], dist: &ShiftedExponential) -> f64 {
+    let ecdf = Ecdf::new(sample);
+    let n = ecdf.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in ecdf.sorted_values().iter().enumerate() {
+        let f = dist.cdf(x);
+        let before = i as f64 / n;
+        let after = (i as f64 + 1.0) / n;
+        d = d.max((f - before).abs()).max((after - f).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrand::RandExt;
+
+    #[test]
+    fn cdf_and_quantile_are_inverse() {
+        let d = ShiftedExponential::new(2.0, 5.0);
+        for p in [0.0, 0.1, 0.5, 0.9, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-12, "p = {p}");
+        }
+        assert_eq!(d.cdf(1.0), 0.0);
+        assert_eq!(d.cdf(2.0), 0.0);
+    }
+
+    #[test]
+    fn mean_and_min_of_k() {
+        let d = ShiftedExponential::new(1.0, 8.0);
+        assert!((d.mean() - 9.0).abs() < 1e-12);
+        assert!((d.expected_min_of(1) - 9.0).abs() < 1e-12);
+        assert!((d.expected_min_of(8) - 2.0).abs() < 1e-12);
+        // with zero shift the speed-up is exactly k
+        let pure = ShiftedExponential::new(0.0, 3.0);
+        for k in [1usize, 2, 16, 256] {
+            assert!((pure.predicted_speedup(k) - k as f64).abs() < 1e-9);
+        }
+        // with a shift the speed-up saturates below mean/mu
+        let shifted = ShiftedExponential::new(1.0, 9.0);
+        assert!(shifted.predicted_speedup(1_000_000) < 10.0 + 1e-6);
+    }
+
+    #[test]
+    fn fit_recovers_parameters_from_synthetic_data() {
+        let mut rng = xrand::default_rng(42);
+        let true_mu = 3.0;
+        let true_lambda = 40.0;
+        let sample: Vec<f64> = (0..20_000)
+            .map(|_| true_mu + rng.exponential(1.0 / true_lambda))
+            .collect();
+        let fit = fit_shifted_exponential(&sample).unwrap();
+        assert!((fit.mu - true_mu).abs() < 0.1, "mu = {}", fit.mu);
+        assert!((fit.lambda - true_lambda).abs() < 2.0, "lambda = {}", fit.lambda);
+        // the fit should be close in KS distance
+        let d = ks_distance(&sample, &fit);
+        assert!(d < 0.02, "KS distance {d}");
+    }
+
+    #[test]
+    fn ks_distance_detects_a_bad_fit() {
+        let mut rng = xrand::default_rng(1);
+        // uniform data is a bad match for an exponential
+        let sample: Vec<f64> = (0..5_000).map(|_| 10.0 + 5.0 * rng.f64()).collect();
+        let fit = fit_shifted_exponential(&sample).unwrap();
+        let d = ks_distance(&sample, &fit);
+        assert!(d > 0.1, "KS distance should be large for uniform data, got {d}");
+    }
+
+    #[test]
+    fn degenerate_samples_are_rejected() {
+        assert!(fit_shifted_exponential(&[]).is_none());
+        assert!(fit_shifted_exponential(&[1.0]).is_none());
+        assert!(fit_shifted_exponential(&[2.0, 2.0, 2.0]).is_none());
+        assert!(fit_shifted_exponential(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn invalid_lambda_rejected() {
+        ShiftedExponential::new(0.0, 0.0);
+    }
+}

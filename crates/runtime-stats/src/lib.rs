@@ -1,0 +1,71 @@
+//! # runtime-stats — runtime-distribution analysis for stochastic search
+//!
+//! The evaluation of the IPPS 2012 paper rests on a statistical argument: the runtime
+//! (or iteration count) of a sequential Adaptive Search run on the CAP is
+//! approximately a **shifted exponential** random variable, and therefore independent
+//! multi-walk parallelism with K walks divides the expected time by (almost exactly)
+//! K — the paper's Figure 4 makes the argument with *time-to-target plots*, and
+//! Tables III–V / Figures 2–3 report the resulting speed-ups.
+//!
+//! This crate provides the analysis toolkit used by the benchmark harnesses to
+//! regenerate those artefacts:
+//!
+//! * [`BatchStats`] — avg / median / min / max / stddev / quantiles of a batch of runs
+//!   (the row format of Tables I and III–V).
+//! * [`Ecdf`] — empirical cumulative distribution functions.
+//! * [`ShiftedExponential`] / [`fit_shifted_exponential`] — maximum-likelihood fit of
+//!   `F(x) = 1 − e^{−(x−µ)/λ}` and a Kolmogorov–Smirnov distance to judge it.
+//! * [`ttt`] — time-to-target plot series (empirical points + fitted curve), Figure 4.
+//! * [`speedup`] — observed speed-up tables and the order-statistics prediction
+//!   `E[min of K] = µ + λ/K`, Figures 2–3.
+//! * [`table`] — plain-text table/CSV rendering so each harness prints rows shaped
+//!   like the paper's tables.
+//! * [`series`] — (x, y) series with log₂/log₁₀ helpers and a minimal ASCII chart for
+//!   terminal-friendly figure output.
+
+pub mod ecdf;
+pub mod expfit;
+pub mod series;
+pub mod speedup;
+pub mod summary;
+pub mod table;
+pub mod ttt;
+
+pub use ecdf::Ecdf;
+pub use expfit::{fit_shifted_exponential, ShiftedExponential};
+pub use series::Series;
+pub use speedup::{observed_speedups, predicted_speedup, SpeedupPoint};
+pub use summary::BatchStats;
+pub use table::{Align, TextTable};
+pub use ttt::TimeToTarget;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline statistical fact behind the paper's linear speed-ups: for an
+    /// exponential distribution, the mean of the minimum of K samples is the mean
+    /// divided by K.  Exercise the whole pipeline: sample → fit → predict → observe.
+    #[test]
+    fn pipeline_reproduces_the_min_of_k_law() {
+        use xrand::RandExt;
+        let mut rng = xrand::default_rng(7);
+        let lambda = 120.0f64;
+        let samples: Vec<f64> = (0..4000).map(|_| rng.exponential(1.0 / lambda)).collect();
+        let fit = fit_shifted_exponential(&samples).unwrap();
+        assert!((fit.lambda - lambda).abs() < lambda * 0.1, "lambda = {}", fit.lambda);
+
+        // Observed mean of min-of-32 vs the order-statistics prediction.
+        let mins: Vec<f64> = samples
+            .chunks(32)
+            .filter(|c| c.len() == 32)
+            .map(|c| c.iter().cloned().fold(f64::INFINITY, f64::min))
+            .collect();
+        let observed = mins.iter().sum::<f64>() / mins.len() as f64;
+        let predicted = fit.expected_min_of(32);
+        assert!(
+            (observed - predicted).abs() < predicted * 0.5,
+            "observed {observed} vs predicted {predicted}"
+        );
+    }
+}

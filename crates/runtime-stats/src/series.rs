@@ -1,0 +1,164 @@
+//! (x, y) data series and a minimal ASCII chart for terminal figure output.
+//!
+//! The paper's Figures 2–4 are line charts (speed-up vs. cores on a log-log scale,
+//! probability vs. time).  The harness binaries print the underlying numbers as
+//! tables/CSV and additionally render a rough ASCII chart so the *shape* (linearity on
+//! the log-log scale, exponential-looking TTT curves) is visible directly in the
+//! terminal and in EXPERIMENTS.md.
+
+/// A named (x, y) series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Name shown in legends.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { name: name.into(), points }
+    }
+
+    /// Apply `log2` to both coordinates (speed-up figures use log-log axes).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is not strictly positive.
+    pub fn log2_log2(&self) -> Series {
+        let points = self
+            .points
+            .iter()
+            .map(|&(x, y)| {
+                assert!(x > 0.0 && y > 0.0, "log-log requires positive coordinates");
+                (x.log2(), y.log2())
+            })
+            .collect();
+        Series::new(format!("log2({})", self.name), points)
+    }
+
+    /// Least-squares slope of the series (useful to check "the execution times are
+    /// halved when the number of cores is doubled": slope ≈ −1 on the log-log scale,
+    /// or ≈ +1 for speed-up vs cores).
+    ///
+    /// Returns `None` with fewer than two points or zero variance in x.
+    pub fn slope(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let n = self.points.len() as f64;
+        let mean_x = self.points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = self.points.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxx: f64 = self.points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = self
+            .points
+            .iter()
+            .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+            .sum();
+        Some(sxy / sxx)
+    }
+}
+
+/// Render one or more series as a rough ASCII scatter chart of the given size.
+///
+/// Each series is drawn with a distinct marker character; axes are linear, so callers
+/// wanting a log-log view should transform the series first (see [`Series::log2_log2`]).
+///
+/// # Panics
+/// Panics if `width` or `height` is smaller than 2, or no series has any point.
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "chart must be at least 2x2");
+    const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let span_x = (max_x - min_x).max(1e-12);
+    let span_y = (max_y - min_y).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - min_x) / span_x) * (width - 1) as f64).round() as usize;
+            let row = (((y - min_y) / span_y) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row; // y grows upward
+            grid[row][col.min(width - 1)] = marker;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("y: [{min_y:.3}, {max_y:.3}]\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("x: [{min_x:.3}, {max_x:.3}]   "));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{}={}  ", MARKERS[si % MARKERS.len()], s.name));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_a_line_is_recovered() {
+        let s = Series::new("line", (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect());
+        assert!((s.slope().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_degenerate_cases() {
+        assert_eq!(Series::new("one", vec![(1.0, 1.0)]).slope(), None);
+        assert_eq!(Series::new("vert", vec![(1.0, 1.0), (1.0, 5.0)]).slope(), None);
+    }
+
+    #[test]
+    fn log_log_transform_checks_positivity() {
+        let s = Series::new("s", vec![(32.0, 1.0), (64.0, 2.0), (128.0, 4.0)]);
+        let ll = s.log2_log2();
+        assert!((ll.points[0].0 - 5.0).abs() < 1e-12);
+        assert!((ll.points[2].1 - 2.0).abs() < 1e-12);
+        // perfect doubling → slope exactly 1 in log-log space
+        assert!((ll.slope().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn log_log_rejects_nonpositive() {
+        Series::new("bad", vec![(0.0, 1.0)]).log2_log2();
+    }
+
+    #[test]
+    fn ascii_chart_contains_markers_and_legend() {
+        let a = Series::new("ideal", vec![(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        let b = Series::new("observed", vec![(1.0, 1.0), (2.0, 1.8), (3.0, 2.7)]);
+        let chart = ascii_chart(&[a, b], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("ideal"));
+        assert!(chart.contains("observed"));
+        assert!(chart.lines().count() >= 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_chart_panics() {
+        ascii_chart(&[Series::new("empty", vec![])], 10, 5);
+    }
+}

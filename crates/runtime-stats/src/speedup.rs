@@ -1,0 +1,140 @@
+//! Speed-up computation and prediction (paper Figures 2 and 3, and the speed-up
+//! figures quoted throughout §V-B).
+
+use crate::expfit::ShiftedExponential;
+use crate::summary::BatchStats;
+
+/// One point of a speed-up curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupPoint {
+    /// Number of cores (walks).
+    pub cores: usize,
+    /// Mean time at this core count.
+    pub mean_time: f64,
+    /// Median time at this core count.
+    pub median_time: f64,
+    /// Speed-up of the mean relative to the reference core count.
+    pub speedup_mean: f64,
+    /// Speed-up of the median relative to the reference core count.
+    pub speedup_median: f64,
+    /// The ideal (linear) speed-up relative to the reference core count.
+    pub ideal: f64,
+}
+
+/// Compute observed speed-ups from per-core-count batches of times.
+///
+/// `batches` maps a core count to the times measured at that core count; the curve is
+/// normalised to the *smallest* core count present (the paper normalises Figure 2 to
+/// 32 cores and Figure 3 to 512/2048 cores for exactly this reason: the sequential
+/// time is not always measurable).
+///
+/// # Panics
+/// Panics if `batches` is empty or any batch is empty.
+pub fn observed_speedups(batches: &[(usize, Vec<f64>)]) -> Vec<SpeedupPoint> {
+    assert!(!batches.is_empty(), "need at least one core count");
+    let mut sorted: Vec<&(usize, Vec<f64>)> = batches.iter().collect();
+    sorted.sort_by_key(|(cores, _)| *cores);
+    let reference_cores = sorted[0].0;
+    let reference = BatchStats::from_values(&sorted[0].1);
+    sorted
+        .iter()
+        .map(|(cores, times)| {
+            let stats = BatchStats::from_values(times);
+            SpeedupPoint {
+                cores: *cores,
+                mean_time: stats.mean,
+                median_time: stats.median,
+                speedup_mean: safe_ratio(reference.mean, stats.mean),
+                speedup_median: safe_ratio(reference.median, stats.median),
+                ideal: *cores as f64 / reference_cores as f64,
+            }
+        })
+        .collect()
+}
+
+fn safe_ratio(reference: f64, value: f64) -> f64 {
+    if value > 0.0 {
+        reference / value
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Predicted speed-up of `cores` walks relative to `reference_cores` walks, under the
+/// shifted-exponential runtime model (`E[min of k] = µ + λ/k`).
+///
+/// # Panics
+/// Panics if either core count is zero.
+pub fn predicted_speedup(dist: &ShiftedExponential, reference_cores: usize, cores: usize) -> f64 {
+    assert!(reference_cores > 0 && cores > 0, "core counts must be positive");
+    dist.expected_min_of(reference_cores) / dist.expected_min_of(cores)
+}
+
+/// Parallel efficiency: observed speed-up divided by ideal speed-up.
+pub fn efficiency(point: &SpeedupPoint) -> f64 {
+    if point.ideal > 0.0 {
+        point.speedup_mean / point.ideal
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_batches() -> Vec<(usize, Vec<f64>)> {
+        // Times that halve when cores double — the paper's headline observation.
+        vec![
+            (32, vec![100.0, 110.0, 90.0]),
+            (64, vec![50.0, 55.0, 45.0]),
+            (128, vec![25.0, 27.5, 22.5]),
+            (256, vec![12.5, 13.75, 11.25]),
+        ]
+    }
+
+    #[test]
+    fn speedups_relative_to_smallest_core_count() {
+        let points = observed_speedups(&synthetic_batches());
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].cores, 32);
+        assert!((points[0].speedup_mean - 1.0).abs() < 1e-12);
+        assert!((points[1].speedup_mean - 2.0).abs() < 1e-9);
+        assert!((points[3].speedup_mean - 8.0).abs() < 1e-9);
+        assert!((points[3].ideal - 8.0).abs() < 1e-12);
+        assert!((efficiency(&points[3]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_normalised_to_smallest() {
+        let mut batches = synthetic_batches();
+        batches.reverse();
+        let points = observed_speedups(&batches);
+        assert_eq!(points[0].cores, 32);
+        assert!((points[0].speedup_median - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_speedup_is_linear_for_pure_exponential() {
+        let d = ShiftedExponential::new(0.0, 50.0);
+        assert!((predicted_speedup(&d, 32, 64) - 2.0).abs() < 1e-9);
+        assert!((predicted_speedup(&d, 32, 256) - 8.0).abs() < 1e-9);
+        // and sub-linear once a shift is present
+        let shifted = ShiftedExponential::new(10.0, 50.0);
+        assert!(predicted_speedup(&shifted, 32, 256) < 8.0);
+        assert!(predicted_speedup(&shifted, 32, 256) > 1.0);
+    }
+
+    #[test]
+    fn zero_time_gives_infinite_speedup_not_a_panic() {
+        let batches = vec![(1usize, vec![1.0, 1.0]), (2usize, vec![0.0, 0.0])];
+        let points = observed_speedups(&batches);
+        assert!(points[1].speedup_mean.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core count")]
+    fn empty_input_panics() {
+        observed_speedups(&[]);
+    }
+}

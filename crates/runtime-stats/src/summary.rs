@@ -1,0 +1,161 @@
+//! Batch summary statistics: the row format of the paper's tables.
+//!
+//! Table I reports, for 100 sequential runs per instance, the average / minimum /
+//! maximum execution time, iteration count and number of local minima, plus the ratio
+//! between the average and the minimum.  Tables III–V report average / median /
+//! minimum / maximum times over 50 runs per (instance, core-count) cell.  This module
+//! computes all of those aggregates from a plain slice of observations.
+
+/// Summary statistics of one batch of scalar observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of the two central order statistics for even counts).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for a single observation).
+    pub stddev: f64,
+}
+
+impl BatchStats {
+    /// Compute the summary of a batch.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or contains a NaN.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise an empty batch");
+        assert!(values.iter().all(|v| !v.is_nan()), "NaN observation in batch");
+        let count = values.len();
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            0.5 * (sorted[count / 2 - 1] + sorted[count / 2])
+        };
+        let stddev = if count > 1 {
+            let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / (count as f64 - 1.0);
+            var.sqrt()
+        } else {
+            0.0
+        };
+        Self { count, mean, median, min: sorted[0], max: sorted[count - 1], stddev }
+    }
+
+    /// Convenience constructor from integer observations (iteration counts).
+    pub fn from_u64(values: &[u64]) -> Self {
+        let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Self::from_values(&as_f64)
+    }
+
+    /// The paper's "ratio" column of Table I: average divided by minimum.  When the
+    /// minimum is zero (sub-resolution timing, as in the paper's n = 16 row) the ratio
+    /// is computed against `fallback_min` instead (the paper then uses the iteration
+    /// counts); returns `None` when both are zero.
+    pub fn avg_min_ratio(&self, fallback_min: Option<f64>) -> Option<f64> {
+        if self.min > 0.0 {
+            Some(self.mean / self.min)
+        } else {
+            match fallback_min {
+                Some(m) if m > 0.0 => Some(self.mean / m),
+                _ => None,
+            }
+        }
+    }
+
+    /// Quantile by linear interpolation (`q` in `[0, 1]`).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_of(values: &[f64], q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        assert!(!values.is_empty(), "cannot take a quantile of an empty batch");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        if sorted.len() == 1 {
+            return sorted[0];
+        }
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_batch() {
+        let s = BatchStats::from_values(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_count_median_interpolates() {
+        let s = BatchStats::from_values(&[1.0, 2.0, 3.0, 10.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = BatchStats::from_values(&[7.5]);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    fn from_u64_matches_f64() {
+        let a = BatchStats::from_u64(&[10, 20, 30]);
+        let b = BatchStats::from_values(&[10.0, 20.0, 30.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ratio_uses_fallback_when_min_is_zero() {
+        let s = BatchStats::from_values(&[0.0, 2.0, 4.0]);
+        assert_eq!(s.avg_min_ratio(None), None);
+        let r = s.avg_min_ratio(Some(0.5)).unwrap();
+        assert!((r - 4.0).abs() < 1e-12);
+        let s2 = BatchStats::from_values(&[1.0, 3.0]);
+        assert!((s2.avg_min_ratio(None).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_linearly() {
+        let v = [0.0, 10.0, 20.0, 30.0, 40.0];
+        assert_eq!(BatchStats::quantile_of(&v, 0.0), 0.0);
+        assert_eq!(BatchStats::quantile_of(&v, 1.0), 40.0);
+        assert!((BatchStats::quantile_of(&v, 0.5) - 20.0).abs() < 1e-12);
+        assert!((BatchStats::quantile_of(&v, 0.25) - 10.0).abs() < 1e-12);
+        assert!((BatchStats::quantile_of(&v, 0.1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        BatchStats::from_values(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        BatchStats::from_values(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Plain-text table rendering for the benchmark harnesses.
+//!
+//! Every harness binary prints rows shaped like the corresponding paper table, plus a
+//! CSV dump for downstream plotting.  The formatting is deliberately dependency-free.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table builder.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers, all right-aligned except the
+    /// first column.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        let mut aligns = vec![Align::Right; headers.len()];
+        aligns[0] = Align::Left;
+        Self { headers, aligns, rows: Vec::new() }
+    }
+
+    /// Override column alignments.
+    ///
+    /// # Panics
+    /// Panics if the number of alignments differs from the number of columns.
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "one alignment per column");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the number of cells differs from the number of columns.
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "one cell per column");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned text table with a header separator.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                match self.aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows, comma-separated, minimal quoting of commas).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(escape).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(escape).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a duration in seconds the way the paper's tables do: two decimal places,
+/// switching to more precision only for very small values.
+pub fn fmt_seconds(seconds: f64) -> String {
+    if seconds == 0.0 {
+        "0.00".to_string()
+    } else if seconds < 0.005 {
+        format!("{seconds:.4}")
+    } else {
+        format!("{seconds:.2}")
+    }
+}
+
+/// Format a large integer with thousands separators (readability of iteration counts).
+pub fn fmt_count(value: u64) -> String {
+    let digits: Vec<char> = value.to_string().chars().rev().collect();
+    let mut out = String::new();
+    for (i, c) in digits.iter().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*c);
+    }
+    out.chars().rev().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["size", "avg", "min"]);
+        t.add_row(vec!["16", "0.08", "0.00"]);
+        t.add_row(vec!["17", "0.59", "0.02"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("size"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // numeric columns right-aligned: the last char of "avg" column values align
+        assert!(lines[2].contains("0.08"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(vec!["label", "value"]);
+        t.add_row(vec!["a,b", "1"]);
+        t.add_row(vec!["say \"hi\"", "2"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\",1"));
+        assert!(csv.contains("\"say \"\"hi\"\"\",2"));
+        assert!(csv.starts_with("label,value\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell per column")]
+    fn wrong_row_width_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.add_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(0.0), "0.00");
+        assert_eq!(fmt_seconds(0.08), "0.08");
+        assert_eq!(fmt_seconds(0.001234), "0.0012");
+        assert_eq!(fmt_seconds(250.678), "250.68");
+    }
+
+    #[test]
+    fn count_formatting_inserts_separators() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(20_536_809), "20,536,809");
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = TextTable::new(vec!["a", "b"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.add_row(vec!["1", "x"]);
+        t.add_row(vec!["100", "yyy"]);
+        let s = t.render();
+        assert!(s.contains("  1"));
+    }
+}

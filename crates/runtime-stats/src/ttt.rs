@@ -1,0 +1,115 @@
+//! Time-to-target plots (paper Figure 4).
+//!
+//! A time-to-target (TTT) plot shows, for a stochastic algorithm and a fixed target
+//! (here: target cost 0, i.e. a solution found), the empirical probability of reaching
+//! the target within time `t`, together with the best-fitting shifted exponential.
+//! The paper uses TTT plots over 200 runs of CAP 21 on 32/64/128/256 cores to argue
+//! that the runtime distributions are close to exponential, which in turn explains
+//! the observed linear speed-ups.
+
+use crate::ecdf::Ecdf;
+use crate::expfit::{fit_shifted_exponential, ks_distance, ShiftedExponential};
+
+/// The data behind one TTT curve: empirical points plus the fitted exponential.
+#[derive(Debug, Clone)]
+pub struct TimeToTarget {
+    /// Label of the curve (e.g. "32 cores").
+    pub label: String,
+    /// Empirical plotting points `(time, P[solved within time])`, sorted by time.
+    pub points: Vec<(f64, f64)>,
+    /// Fitted shifted exponential, when the sample admits one.
+    pub fit: Option<ShiftedExponential>,
+    /// Kolmogorov–Smirnov distance between the sample and the fit.
+    pub ks: Option<f64>,
+}
+
+impl TimeToTarget {
+    /// Build a TTT curve from a sample of times-to-solution.
+    ///
+    /// # Panics
+    /// Panics if the sample is empty.
+    pub fn from_sample(label: impl Into<String>, times: &[f64]) -> Self {
+        assert!(!times.is_empty(), "TTT curve needs at least one observation");
+        let ecdf = Ecdf::new(times);
+        let fit = fit_shifted_exponential(times);
+        let ks = fit.as_ref().map(|f| ks_distance(times, f));
+        Self { label: label.into(), points: ecdf.plotting_points(), fit, ks }
+    }
+
+    /// Empirical probability of having reached the target by time `t`.
+    pub fn probability_by(&self, t: f64) -> f64 {
+        // the points are the ECDF plotting positions; reuse them directly
+        let below = self.points.iter().filter(|&&(x, _)| x <= t).count();
+        below as f64 / self.points.len() as f64
+    }
+
+    /// Evaluate the fitted curve at `t` (0 when no fit is available).
+    pub fn fitted_probability_by(&self, t: f64) -> f64 {
+        self.fit.map(|f| f.cdf(t)).unwrap_or(0.0)
+    }
+
+    /// The curve evaluated on an evenly spaced grid, useful for plotting both the
+    /// empirical and fitted curves side by side: returns `(t, empirical, fitted)`.
+    pub fn gridded(&self, points: usize) -> Vec<(f64, f64, f64)> {
+        assert!(points >= 2, "need at least two grid points");
+        let max_t = self.points.last().map(|&(t, _)| t).unwrap_or(1.0).max(1e-12);
+        (0..points)
+            .map(|i| {
+                let t = max_t * i as f64 / (points - 1) as f64;
+                (t, self.probability_by(t), self.fitted_probability_by(t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrand::RandExt;
+
+    #[test]
+    fn curve_from_exponential_sample_fits_well() {
+        let mut rng = xrand::default_rng(5);
+        let times: Vec<f64> = (0..2000).map(|_| rng.exponential(0.01)).collect();
+        let ttt = TimeToTarget::from_sample("test", &times);
+        assert_eq!(ttt.points.len(), 2000);
+        let ks = ttt.ks.unwrap();
+        assert!(ks < 0.05, "KS = {ks}");
+        // the probabilities are monotone in t
+        assert!(ttt.probability_by(10.0) <= ttt.probability_by(200.0));
+        assert!(ttt.fitted_probability_by(10.0) <= ttt.fitted_probability_by(200.0));
+    }
+
+    #[test]
+    fn probability_by_matches_fraction() {
+        let ttt = TimeToTarget::from_sample("x", &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ttt.probability_by(0.0), 0.0);
+        assert_eq!(ttt.probability_by(2.5), 0.5);
+        assert_eq!(ttt.probability_by(10.0), 1.0);
+    }
+
+    #[test]
+    fn gridded_output_spans_the_sample() {
+        let ttt = TimeToTarget::from_sample("x", &[2.0, 4.0, 8.0]);
+        let grid = ttt.gridded(5);
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0].0, 0.0);
+        assert!((grid[4].0 - 8.0).abs() < 1e-12);
+        assert_eq!(grid[4].1, 1.0);
+    }
+
+    #[test]
+    fn single_observation_curve_has_no_fit() {
+        let ttt = TimeToTarget::from_sample("one", &[5.0]);
+        assert!(ttt.fit.is_none());
+        assert!(ttt.ks.is_none());
+        assert_eq!(ttt.points.len(), 1);
+        assert_eq!(ttt.fitted_probability_by(100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_sample_panics() {
+        TimeToTarget::from_sample("empty", &[]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Chaotic-map seed generation for parallel walks.
+//!
+//! §III-B3 of the paper: *"To ensure equity, we choose to generate the seed used by
+//! each process via a pseudo-random number generator based on a linear chaotic map"*
+//! (citing the Trident generator of Orúe et al.).  The point of that design is that
+//! consecutive ranks (0, 1, 2, …) must not receive correlated seeds — a real risk when
+//! seeds are derived as `base + rank` and fed to a weak generator.
+//!
+//! [`ChaoticSeeder`] implements a fixed-point *piecewise linear chaotic map* (PWLCM),
+//! iterated a few times per seed and whitened with the SplitMix64 finaliser.  The map
+//! is the classical skew tent map
+//!
+//! ```text
+//!   x_{k+1} = x_k / p          if x_k < p
+//!   x_{k+1} = (1 - x_k)/(1-p)  otherwise
+//! ```
+//!
+//! computed in 0.64 fixed point so the sequence is exactly reproducible across
+//! platforms (no floating-point rounding drift).  Successive outputs are additionally
+//! decorrelated by re-keying the map with the rank through the golden-ratio Weyl
+//! increment.
+
+use crate::splitmix::{SplitMix64, GOLDEN_GAMMA};
+
+/// Number of map iterations applied per produced seed.  A handful of iterations is
+/// enough to leave the transient of the map; more costs time with no measurable gain.
+const WARMUP_ITERATIONS: u32 = 8;
+
+/// A deterministic seed generator based on a piecewise linear chaotic map.
+///
+/// Two usage patterns are supported:
+///
+/// * streaming: [`ChaoticSeeder::next_seed`] produces an endless sequence of seeds;
+/// * indexed: [`ChaoticSeeder::seed_for_rank`] produces the seed of a given MPI-style
+///   rank directly, without generating the earlier ones — this is what the multi-walk
+///   runner uses so that a walk's behaviour depends only on `(master_seed, rank)` and
+///   not on how many other walks exist.
+#[derive(Debug, Clone)]
+pub struct ChaoticSeeder {
+    master: u64,
+    /// Current state of the map in 0.64 fixed point (interpreted as x ∈ (0,1)).
+    x: u64,
+    /// Break point p of the skew tent map in 0.64 fixed point.
+    p: u64,
+    /// How many seeds have been emitted so far (streaming mode).
+    emitted: u64,
+}
+
+impl ChaoticSeeder {
+    /// Create a seeder from a master seed.  Two seeders with the same master seed
+    /// generate identical sequences.
+    pub fn new(master_seed: u64) -> Self {
+        let mut sm = SplitMix64::new(master_seed);
+        // x must be in (0, 1) exclusive: force at least one low bit and not all ones.
+        let x = Self::clamp_unit(crate::Rng64::next_u64(&mut sm));
+        // p in roughly (0.2, 0.8) to stay away from the degenerate tent corners.
+        let raw = crate::Rng64::next_u64(&mut sm);
+        let p = (u64::MAX / 5) + raw % (u64::MAX / 5 * 3);
+        Self { master: master_seed, x, p, emitted: 0 }
+    }
+
+    fn clamp_unit(v: u64) -> u64 {
+        // keep x strictly inside (0, 1): avoid 0 and u64::MAX fixed points
+        if v == 0 {
+            1
+        } else if v == u64::MAX {
+            u64::MAX - 1
+        } else {
+            v
+        }
+    }
+
+    /// One step of the skew tent map in 0.64 fixed point arithmetic.
+    #[inline]
+    fn tent_step(x: u64, p: u64) -> u64 {
+        // Interpret x, p as fractions of 2^64.  The divisions below are exact 128-bit
+        // scaled divisions: x/p and (1-x)/(1-p) mapped back to 0.64 fixed point.
+        let out = if x < p {
+            (((x as u128) << 64) / (p as u128)) as u64
+        } else {
+            let num = (u64::MAX - x) as u128;
+            let den = (u64::MAX - p) as u128;
+            ((num << 64) / den.max(1)) as u64
+        };
+        Self::clamp_unit(out)
+    }
+
+    /// Produce the next seed in streaming order.
+    pub fn next_seed(&mut self) -> u64 {
+        let rank = self.emitted;
+        self.emitted += 1;
+        // advance the shared trajectory so streaming mode also mixes map dynamics
+        for _ in 0..WARMUP_ITERATIONS {
+            self.x = Self::tent_step(self.x, self.p);
+        }
+        self.x ^= GOLDEN_GAMMA.wrapping_mul(rank.wrapping_add(1));
+        self.x = Self::clamp_unit(self.x);
+        self.seed_for_rank(rank)
+    }
+
+    /// Produce the seed for a given rank, independent of streaming state.
+    ///
+    /// The construction: start the map from a state keyed by `(master, rank)`, iterate
+    /// the chaotic map, then whiten with SplitMix64.  The chaotic iteration spreads
+    /// nearby ranks across the unit interval; the whitening removes any residual
+    /// piecewise-linear structure.
+    pub fn seed_for_rank(&self, rank: u64) -> u64 {
+        let mut x = Self::clamp_unit(
+            SplitMix64::mix(self.master ^ rank.wrapping_mul(GOLDEN_GAMMA)),
+        );
+        let mut acc = 0u64;
+        for i in 0..WARMUP_ITERATIONS {
+            x = Self::tent_step(x, self.p);
+            acc = acc.rotate_left(19) ^ x ^ (i as u64);
+        }
+        SplitMix64::mix(acc ^ self.master.rotate_left(32) ^ rank)
+    }
+
+    /// Produce seeds for ranks `0..count` in one call.
+    pub fn seeds(&self, count: usize) -> Vec<u64> {
+        (0..count as u64).map(|r| self.seed_for_rank(r)).collect()
+    }
+
+    /// The master seed this seeder was built from.
+    pub fn master_seed(&self) -> u64 {
+        self.master
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_master() {
+        let a = ChaoticSeeder::new(42);
+        let b = ChaoticSeeder::new(42);
+        assert_eq!(a.seeds(100), b.seeds(100));
+    }
+
+    #[test]
+    fn different_masters_give_different_sequences() {
+        let a = ChaoticSeeder::new(1);
+        let b = ChaoticSeeder::new(2);
+        let sa = a.seeds(64);
+        let sb = b.seeds(64);
+        let common = sa.iter().filter(|s| sb.contains(s)).count();
+        assert!(common < 2);
+    }
+
+    #[test]
+    fn ranks_get_distinct_seeds() {
+        let s = ChaoticSeeder::new(7);
+        let seeds = s.seeds(4096);
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(set.len(), seeds.len(), "seed collision among 4096 ranks");
+    }
+
+    #[test]
+    fn adjacent_ranks_are_decorrelated() {
+        // Hamming distance between seeds of adjacent ranks should look like that of
+        // independent uniform words: ~32 bits, never pathologically small.
+        let s = ChaoticSeeder::new(2012);
+        let seeds = s.seeds(1024);
+        let mut min_dist = 64;
+        let mut total = 0u64;
+        for w in seeds.windows(2) {
+            let d = (w[0] ^ w[1]).count_ones();
+            min_dist = min_dist.min(d);
+            total += d as u64;
+        }
+        let mean = total as f64 / (seeds.len() - 1) as f64;
+        assert!(min_dist >= 10, "adjacent seeds too similar: {min_dist} bits");
+        assert!((mean - 32.0).abs() < 3.0, "mean hamming distance {mean}");
+    }
+
+    #[test]
+    fn streaming_and_indexed_agree() {
+        let mut s = ChaoticSeeder::new(99);
+        let streamed: Vec<u64> = (0..32).map(|_| s.next_seed()).collect();
+        let fresh = ChaoticSeeder::new(99);
+        let indexed = fresh.seeds(32);
+        assert_eq!(streamed, indexed);
+    }
+
+    #[test]
+    fn tent_step_stays_in_open_unit_interval() {
+        let s = ChaoticSeeder::new(5);
+        let mut x = 12345u64;
+        for _ in 0..1000 {
+            x = ChaoticSeeder::tent_step(x, s.p);
+            assert!(x != 0 && x != u64::MAX);
+        }
+    }
+
+    #[test]
+    fn seed_bits_are_balanced_across_ranks() {
+        // Each bit position should be set in roughly half of the seeds.
+        let s = ChaoticSeeder::new(31337);
+        let n = 2048usize;
+        let seeds = s.seeds(n);
+        for bit in 0..64 {
+            let ones = seeds.iter().filter(|&&v| v & (1u64 << bit) != 0).count();
+            let frac = ones as f64 / n as f64;
+            assert!((frac - 0.5).abs() < 0.06, "bit {bit} frac {frac}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! A 64-bit multiplicative–congruential generator (MCG/LCG) baseline.
+//!
+//! The paper notes (§III-B3) that "using a generic random function can turn out to be
+//! insufficient" once hundreds of stochastic processes run concurrently.  To let the
+//! test-suite and the ablation benches *demonstrate* that claim rather than assert it,
+//! this module keeps a deliberately old-fashioned generator around: the classic
+//! 64-bit LCG with the Knuth MMIX multiplier.  Its low-order bits have short periods,
+//! which is precisely the kind of structure the chaotic seeder and xoshiro avoid.
+
+use crate::Rng64;
+
+/// Knuth's MMIX linear congruential generator: `x ← a·x + c (mod 2^64)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lcg64 {
+    state: u64,
+}
+
+/// MMIX multiplier (Knuth, TAOCP vol. 2).
+pub const MMIX_MULTIPLIER: u64 = 6364136223846793005;
+/// MMIX increment.
+pub const MMIX_INCREMENT: u64 = 1442695040888963407;
+
+impl Lcg64 {
+    /// Create an LCG with the given starting state.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advance one step and return the *raw* new state (all 64 bits, including the
+    /// weak low bits).  [`Rng64::next_u64`] instead returns the state xor-folded so
+    /// the weakness is milder but still measurable.
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(MMIX_MULTIPLIER)
+            .wrapping_add(MMIX_INCREMENT);
+        self.state
+    }
+}
+
+impl Rng64 for Lcg64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let x = self.next_raw();
+        // xorshift the high bits down; keeps the generator cheap while hiding the
+        // worst of the low-bit regularity.
+        x ^ (x >> 33)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recurrence_matches_definition() {
+        let mut lcg = Lcg64::new(42);
+        let s1 = lcg.next_raw();
+        assert_eq!(
+            s1,
+            42u64.wrapping_mul(MMIX_MULTIPLIER).wrapping_add(MMIX_INCREMENT)
+        );
+        let s2 = lcg.next_raw();
+        assert_eq!(
+            s2,
+            s1.wrapping_mul(MMIX_MULTIPLIER).wrapping_add(MMIX_INCREMENT)
+        );
+    }
+
+    #[test]
+    fn low_bit_of_raw_state_alternates() {
+        // The lowest bit of a maximal-period LCG mod 2^64 has period 2 when the
+        // increment is odd: this is the structural weakness we keep for comparison.
+        let mut lcg = Lcg64::new(7);
+        let bits: Vec<u64> = (0..16).map(|_| lcg.next_raw() & 1).collect();
+        for w in bits.windows(2) {
+            assert_ne!(w[0], w[1], "low bit must alternate: {bits:?}");
+        }
+    }
+
+    #[test]
+    fn folded_output_hides_low_bit_period() {
+        let mut lcg = Lcg64::new(7);
+        let bits: Vec<u64> = (0..64).map(|_| lcg.next_u64() & 1).collect();
+        // Not strictly alternating once folded.
+        assert!(bits.windows(2).any(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn deterministic_and_clonable() {
+        let mut a = Lcg64::new(100);
+        let mut b = a.clone();
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Ergonomic sampling helpers layered over any [`Rng64`].
+//!
+//! Local search spends most of its random budget on three primitive draws:
+//! a uniform index below some bound (variable / value selection), a Bernoulli draw
+//! (plateau-following probability), and occasionally a uniform float.  These are
+//! provided here as an extension trait so every generator in the crate — and any
+//! user-supplied one — gets them for free.
+//!
+//! Bounded integers use Lemire's multiply-then-reject method, which avoids the modulo
+//! bias of `x % n` while needing on average far less than one rejection per draw.
+
+use crate::Rng64;
+
+/// Extension methods available on every [`Rng64`].
+pub trait RandExt: Rng64 {
+    /// Uniform integer in `[0, bound)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        // Lemire's method: multiply a 64-bit draw by the bound and keep the high word,
+        // rejecting the small biased region of the low word.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    fn range_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "range_inclusive requires lo <= hi");
+        let span = (hi - lo) as u64 + 1;
+        lo + self.below(span) as i64
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    fn f64(&mut self) -> f64 {
+        // Take the top 53 bits and scale by 2^-53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn bool_with_prob(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Exponentially distributed draw with rate `lambda` (mean `1/lambda`), via
+    /// inversion sampling.  Used by the runtime-distribution tooling and by tests
+    /// that validate the shifted-exponential fit of the time-to-target analysis.
+    ///
+    /// # Panics
+    /// Panics if `lambda <= 0`.
+    fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential() requires lambda > 0");
+        let u = 1.0 - self.f64(); // in (0, 1]
+        -u.ln() / lambda
+    }
+
+    /// Pick one element of a non-empty slice uniformly at random.
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick() requires a non-empty slice");
+        &items[self.index(items.len())]
+    }
+}
+
+impl<R: Rng64 + ?Sized> RandExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_rng;
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = default_rng(1);
+        for bound in [1u64, 2, 3, 7, 10, 1000, u32::MAX as u64] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_one_is_always_zero() {
+        let mut rng = default_rng(9);
+        for _ in 0..50 {
+            assert_eq!(rng.below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_panics() {
+        let mut rng = default_rng(9);
+        rng.below(0);
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = default_rng(77);
+        let bound = 10u64;
+        let n = 100_000;
+        let mut counts = vec![0u32; bound as usize];
+        for _ in 0..n {
+            counts[rng.below(bound) as usize] += 1;
+        }
+        let expected = n as f64 / bound as f64;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < expected * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_covers_endpoints() {
+        let mut rng = default_rng(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = rng.range_inclusive(-2, 2);
+            assert!((-2..=2).contains(&v));
+            saw_lo |= v == -2;
+            saw_hi |= v == 2;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut rng = default_rng(5);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn bool_with_prob_extremes_and_rate() {
+        let mut rng = default_rng(6);
+        assert!(!rng.bool_with_prob(0.0));
+        assert!(rng.bool_with_prob(1.0));
+        assert!(!rng.bool_with_prob(-0.5));
+        assert!(rng.bool_with_prob(1.5));
+        let hits = (0..20_000).filter(|_| rng.bool_with_prob(0.9)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.9).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = default_rng(11);
+        let lambda = 0.25;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean = {mean}");
+    }
+
+    #[test]
+    fn pick_returns_existing_elements() {
+        let mut rng = default_rng(12);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Shuffling and random permutations.
+//!
+//! Every restart of an Adaptive Search walk begins from a uniformly random
+//! permutation (the CAP is a permutation problem), and the generic reset operator
+//! re-randomises a percentage of the variables.  Both lean on an unbiased
+//! Fisher–Yates shuffle.
+
+use crate::range::RandExt;
+use crate::Rng64;
+
+/// Shuffle `items` in place with the (modern, backwards) Fisher–Yates algorithm.
+///
+/// Every one of the `n!` orderings is produced with equal probability given a uniform
+/// generator.
+pub fn fisher_yates<T, R: Rng64 + ?Sized>(items: &mut [T], rng: &mut R) {
+    let n = items.len();
+    if n < 2 {
+        return;
+    }
+    for i in (1..n).rev() {
+        let j = rng.index(i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Produce a uniformly random permutation of `0..n` (0-based values).
+pub fn random_permutation<R: Rng64 + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    fisher_yates(&mut p, rng);
+    p
+}
+
+/// Choose `k` distinct indices out of `0..n` uniformly at random (partial
+/// Fisher–Yates; O(n) memory, O(k) swaps).  The result is *not* sorted.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn choose<R: Rng64 + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot choose {k} items out of {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.index(n - i);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_rng;
+
+    fn is_permutation(p: &[usize]) -> bool {
+        let n = p.len();
+        let mut seen = vec![false; n];
+        for &x in p {
+            if x >= n || seen[x] {
+                return false;
+            }
+            seen[x] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = default_rng(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut expected = v.clone();
+        fisher_yates(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_sizes() {
+        let mut rng = default_rng(2);
+        let mut empty: Vec<u8> = vec![];
+        fisher_yates(&mut empty, &mut rng);
+        assert!(empty.is_empty());
+        let mut one = vec![7u8];
+        fisher_yates(&mut one, &mut rng);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let mut rng = default_rng(3);
+        for n in [0usize, 1, 2, 5, 17, 64] {
+            let p = random_permutation(n, &mut rng);
+            assert_eq!(p.len(), n);
+            assert!(is_permutation(&p));
+        }
+    }
+
+    #[test]
+    fn permutation_distribution_is_roughly_uniform_for_n3() {
+        // All 6 permutations of 3 elements should appear with similar frequency.
+        let mut rng = default_rng(4);
+        let mut counts = std::collections::HashMap::new();
+        let n = 60_000;
+        for _ in 0..n {
+            let p = random_permutation(3, &mut rng);
+            *counts.entry(p).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        let expected = n as f64 / 6.0;
+        for (&ref p, &c) in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "permutation {p:?} count {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_returns_distinct_in_range() {
+        let mut rng = default_rng(5);
+        for (n, k) in [(10usize, 3usize), (10, 10), (10, 0), (1, 1), (100, 37)] {
+            let c = choose(n, k, &mut rng);
+            assert_eq!(c.len(), k);
+            let set: std::collections::HashSet<_> = c.iter().collect();
+            assert_eq!(set.len(), k, "duplicates in {c:?}");
+            assert!(c.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot choose")]
+    fn choose_more_than_available_panics() {
+        let mut rng = default_rng(6);
+        choose(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn choose_covers_all_elements_over_many_draws() {
+        let mut rng = default_rng(7);
+        let mut seen = vec![false; 20];
+        for _ in 0..2_000 {
+            for i in choose(20, 2, &mut rng) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

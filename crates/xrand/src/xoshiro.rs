@@ -1,0 +1,171 @@
+//! Xoshiro256**: the work-horse generator used inside every search walk.
+//!
+//! Xoshiro256** (Blackman & Vigna, 2018) has 256 bits of state, a period of 2^256 − 1,
+//! passes BigCrush, and needs only a handful of shifts/rotates per output — exactly
+//! the profile a local-search inner loop wants.  The `jump()` function advances the
+//! stream by 2^128 steps, giving non-overlapping sub-streams for parallel walkers as
+//! an alternative to independent seeding.
+
+use crate::splitmix::SplitMix64;
+use crate::Rng64;
+
+/// The xoshiro256** 1.0 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Construct from a full 256-bit state.  The state must not be all zeroes.
+    ///
+    /// # Panics
+    /// Panics if all four words are zero (the all-zero state is a fixed point).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must not be all zero");
+        Self { s }
+    }
+
+    /// Seed from a single 64-bit value, expanding it through SplitMix64 as recommended
+    /// by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 output can only be all-zero with negligible probability, but the
+        // constructor still guards the degenerate case.
+        Self::from_state(s)
+    }
+
+    /// Return a copy of the internal state (useful for checkpointing a walk).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Advance the generator by 2^128 steps.
+    ///
+    /// Calling `jump()` k times on generators cloned from the same state yields
+    /// non-overlapping sub-sequences of length 2^128, which can be handed to parallel
+    /// workers when fully independent seeding is not desired.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_2618_E03F_C9AA,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut s0 = 0u64;
+        let mut s1 = 0u64;
+        let mut s2 = 0u64;
+        let mut s3 = 0u64;
+        for &jump_word in JUMP.iter() {
+            for b in 0..64 {
+                if (jump_word & (1u64 << b)) != 0 {
+                    s0 ^= self.s[0];
+                    s1 ^= self.s[1];
+                    s2 ^= self.s[2];
+                    s3 ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = [s0, s1, s2, s3];
+    }
+
+    /// Derive the k-th jumped sub-stream from this generator without mutating it.
+    pub fn substream(&self, k: usize) -> Self {
+        let mut g = self.clone();
+        for _ in 0..k {
+            g.jump();
+        }
+        g
+    }
+}
+
+impl Rng64 for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector: with state {1, 2, 3, 4} the first outputs of the xoshiro256**
+    /// 1.0 reference implementation are 11520, 0, 1509978240, ... .  The fourth value
+    /// is pinned from this implementation to guard against accidental changes.
+    #[test]
+    fn matches_reference_vector() {
+        let mut rng = Xoshiro256StarStar::from_state([1, 2, 3, 4]);
+        assert_eq!(rng.next_u64(), 11520);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 1509978240);
+        assert_eq!(rng.next_u64(), 1215971899390074240);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be all zero")]
+    fn all_zero_state_rejected() {
+        let _ = Xoshiro256StarStar::from_state([0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_sensitive() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(5);
+        let mut b = Xoshiro256StarStar::seed_from_u64(5);
+        let mut c = Xoshiro256StarStar::seed_from_u64(6);
+        let mut equal_ac = 0;
+        for _ in 0..256 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            if x == c.next_u64() {
+                equal_ac += 1;
+            }
+        }
+        assert!(equal_ac < 4);
+    }
+
+    #[test]
+    fn jump_produces_disjoint_prefixes() {
+        let base = Xoshiro256StarStar::seed_from_u64(123);
+        let mut a = base.substream(0);
+        let mut b = base.substream(1);
+        let mut c = base.substream(2);
+        let pa: Vec<u64> = (0..512).map(|_| a.next_u64()).collect();
+        let pb: Vec<u64> = (0..512).map(|_| b.next_u64()).collect();
+        let pc: Vec<u64> = (0..512).map(|_| c.next_u64()).collect();
+        let sa: std::collections::HashSet<_> = pa.iter().collect();
+        assert!(pb.iter().all(|x| !sa.contains(x)));
+        assert!(pc.iter().all(|x| !sa.contains(x)));
+        assert_ne!(pb, pc);
+    }
+
+    #[test]
+    fn output_roughly_uniform_in_bytes() {
+        // Chi-squared style sanity check on the top byte over 64k draws.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2024);
+        let mut counts = [0u32; 256];
+        let n = 65_536;
+        for _ in 0..n {
+            counts[(rng.next_u64() >> 56) as usize] += 1;
+        }
+        let expected = n as f64 / 256.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 255 degrees of freedom; mean 255, std ~ 22.6.  Accept a very wide band.
+        assert!(chi2 > 150.0 && chi2 < 400.0, "chi2 = {chi2}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the xrand crate: invariants that must hold for *every*
+//! seed and bound, not just the hand-picked ones in the unit tests.
+
+use proptest::prelude::*;
+use xrand::{
+    choose, default_rng, fisher_yates, random_permutation, ChaoticSeeder, Lcg64, RandExt, Rng64,
+    SeedSequence, SplitMix64, Xoshiro256StarStar,
+};
+
+fn is_permutation(p: &[usize]) -> bool {
+    let n = p.len();
+    let mut seen = vec![false; n];
+    for &x in p {
+        if x >= n || seen[x] {
+            return false;
+        }
+        seen[x] = true;
+    }
+    true
+}
+
+proptest! {
+    #[test]
+    fn below_is_always_in_bounds(seed in any::<u64>(), bound in 1u64..=1_000_000) {
+        let mut rng = default_rng(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval(seed in any::<u64>()) {
+        let mut rng = default_rng(seed);
+        for _ in 0..64 {
+            let x = rng.f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_interval(seed in any::<u64>(), lo in -1000i64..1000, span in 0i64..500) {
+        let hi = lo + span;
+        let mut rng = default_rng(seed);
+        for _ in 0..16 {
+            let v = rng.range_inclusive(lo, hi);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_of_input(seed in any::<u64>(), n in 0usize..200) {
+        let mut rng = default_rng(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        fisher_yates(&mut v, &mut rng);
+        prop_assert!(is_permutation(&v));
+    }
+
+    #[test]
+    fn random_permutation_valid(seed in any::<u64>(), n in 0usize..200) {
+        let mut rng = default_rng(seed);
+        prop_assert!(is_permutation(&random_permutation(n, &mut rng)));
+    }
+
+    #[test]
+    fn choose_returns_distinct_subset(seed in any::<u64>(), n in 1usize..200, frac in 0.0f64..=1.0) {
+        let k = ((n as f64) * frac).floor() as usize;
+        let mut rng = default_rng(seed);
+        let c = choose(n, k, &mut rng);
+        prop_assert_eq!(c.len(), k);
+        let set: std::collections::HashSet<_> = c.iter().copied().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(c.iter().all(|&x| x < n));
+    }
+
+    #[test]
+    fn generators_are_reproducible(seed in any::<u64>()) {
+        let mut a = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut b = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut c = SplitMix64::new(seed);
+        let mut d = SplitMix64::new(seed);
+        let mut e = Lcg64::new(seed);
+        let mut f = Lcg64::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+            prop_assert_eq!(c.next_u64(), d.next_u64());
+            prop_assert_eq!(e.next_u64(), f.next_u64());
+        }
+    }
+
+    #[test]
+    fn chaotic_seeder_rank_seeds_are_distinct(master in any::<u64>(), count in 2usize..256) {
+        let seeder = ChaoticSeeder::new(master);
+        let seeds = seeder.seeds(count);
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        prop_assert_eq!(set.len(), seeds.len());
+    }
+
+    #[test]
+    fn seed_sequence_children_are_distinct(master in any::<u64>(), count in 2usize..256) {
+        let root = SeedSequence::new(master);
+        let seeds = root.child_seeds(count);
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        prop_assert_eq!(set.len(), seeds.len());
+    }
+
+    #[test]
+    fn exponential_draws_are_positive(seed in any::<u64>(), lambda in 0.001f64..100.0) {
+        let mut rng = default_rng(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.exponential(lambda) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # costas-lab — parallel local search for the Costas Array Problem
+//!
+//! Umbrella crate for the workspace reproducing *"Parallel local search for the Costas
+//! Array Problem"* (Diaz, Richoux, Caniou, Codognet, Abreu — IPPS 2012).  It re-exports
+//! the individual crates under stable names and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`costas`] | `costas` | Costas-array domain: difference triangle, validity, symmetry, Welch/Golomb constructions, enumeration, incremental conflict table |
+//! | [`adaptive_search`] | `adaptive-search` | The Adaptive Search metaheuristic, the CAP model (§IV), and the N-Queens / All-Interval / Magic-Square models |
+//! | [`multiwalk`] | `multiwalk` | Independent multi-walk runners (threads, message passing) and the virtual cluster simulator (§V) |
+//! | [`mpi_sim`] | `mpi-sim` | MPI-shaped in-process message passing (ranks, iprobe, collectives) |
+//! | [`runtime_stats`] | `runtime-stats` | Time-to-target plots, shifted-exponential fits, speed-up models, table rendering |
+//! | [`baselines`] | `baselines` | Dialectic Search, quadratic tabu search, random-restart hill climbing, complete backtracking |
+//! | [`xrand`] | `xrand` | Deterministic PRNGs and the chaotic-map seed generator (§III-B3) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use costas_lab::prelude::*;
+//!
+//! // Solve CAP 12 with the paper's sequential Adaptive Search configuration.
+//! let result = solve_costas(12, 42);
+//! assert!(result.is_solved());
+//! let solution = result.solution.unwrap();
+//! assert!(is_costas_permutation(&solution));
+//!
+//! // Or run an independent multi-walk job across 4 walks (first solution wins).
+//! let job = ThreadRunner::new(WalkSpec::costas(12), 4).run(42);
+//! assert!(job.solved());
+//! ```
+
+pub use adaptive_search;
+pub use baselines;
+pub use costas;
+pub use mpi_sim;
+pub use multiwalk;
+pub use runtime_stats;
+pub use xrand;
+
+/// The most common imports, for examples and quick experiments.
+pub mod prelude {
+    pub use adaptive_search::{
+        solve_costas, AsConfig, CostasModelConfig, CostasProblem, Engine, PermutationProblem,
+        SearchStats, SequentialDriver, SolveResult, SolveStatus,
+    };
+    pub use costas::{
+        golomb_construction, is_costas_permutation, welch_construction, CostasArray,
+        DifferenceTriangle, Permutation,
+    };
+    pub use multiwalk::{
+        MpiRunner, MultiWalkResult, PlatformProfile, SimulatedRun, ThreadRunner, VirtualCluster,
+        WalkSpec,
+    };
+    pub use runtime_stats::{BatchStats, Series, ShiftedExponential, TimeToTarget};
+    pub use xrand::{default_rng, ChaoticSeeder, RandExt, SeedSequence};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_types_compose() {
+        let result = solve_costas(10, 7);
+        assert!(result.is_solved());
+        let triangle = DifferenceTriangle::new(&result.solution.unwrap());
+        assert!(triangle.is_costas());
+    }
+}
