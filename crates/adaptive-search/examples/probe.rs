@@ -2,7 +2,10 @@
 use adaptive_search::*;
 
 fn run(label: &str, n: usize, model: CostasModelConfig, cfg: AsConfig, seed: u64, cap: u64) {
-    let cfg = AsConfig { max_iterations: cap, ..cfg };
+    let cfg = AsConfig {
+        max_iterations: cap,
+        ..cfg
+    };
     let problem = CostasProblem::with_config(n, model);
     let mut engine = Engine::new(problem, cfg, seed);
     let start = std::time::Instant::now();
@@ -20,24 +23,59 @@ fn main() {
         "quick" => {
             for n in [12usize, 14, 16] {
                 for seed in 1..=3u64 {
-                    run("default", n, CostasModelConfig::optimized(), AsConfig::default(), seed, 5_000_000);
+                    run(
+                        "default",
+                        n,
+                        CostasModelConfig::optimized(),
+                        AsConfig::default(),
+                        seed,
+                        5_000_000,
+                    );
                 }
             }
         }
         "seventeen" => {
             for seed in 1..=3u64 {
-                run("default", 17, CostasModelConfig::optimized(), AsConfig::default(), seed, 50_000_000);
+                run(
+                    "default",
+                    17,
+                    CostasModelConfig::optimized(),
+                    AsConfig::default(),
+                    seed,
+                    50_000_000,
+                );
             }
         }
         "compare" => {
             for n in [14usize, 16] {
                 for seed in 1..=2u64 {
-                    run("default", n, CostasModelConfig::optimized(), AsConfig::default(), seed, 5_000_000);
-                    run("no-custom-reset", n,
-                        CostasModelConfig { dedicated_reset: false, ..Default::default() },
-                        AsConfig::builder().use_custom_reset(false).build(), seed, 5_000_000);
-                    run("basic-model", n, CostasModelConfig::basic(),
-                        AsConfig::builder().use_custom_reset(false).build(), seed, 5_000_000);
+                    run(
+                        "default",
+                        n,
+                        CostasModelConfig::optimized(),
+                        AsConfig::default(),
+                        seed,
+                        5_000_000,
+                    );
+                    run(
+                        "no-custom-reset",
+                        n,
+                        CostasModelConfig {
+                            dedicated_reset: false,
+                            ..Default::default()
+                        },
+                        AsConfig::builder().use_custom_reset(false).build(),
+                        seed,
+                        5_000_000,
+                    );
+                    run(
+                        "basic-model",
+                        n,
+                        CostasModelConfig::basic(),
+                        AsConfig::builder().use_custom_reset(false).build(),
+                        seed,
+                        5_000_000,
+                    );
                 }
                 println!();
             }

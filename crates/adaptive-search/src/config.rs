@@ -41,18 +41,13 @@ impl Default for ResetPolicy {
 }
 
 /// Full restart policy (start again from a fresh random permutation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RestartPolicy {
     /// Never restart; run a single walk until solved or the iteration budget is hit.
+    #[default]
     Never,
     /// Restart every `iterations` iterations of the current walk.
     Every { iterations: u64 },
-}
-
-impl Default for RestartPolicy {
-    fn default() -> Self {
-        RestartPolicy::Never
-    }
 }
 
 /// All knobs of the Adaptive Search engine.
@@ -240,8 +235,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        let mut c = AsConfig::default();
-        c.plateau_probability = 1.5;
+        let c = AsConfig {
+            plateau_probability: 1.5,
+            ..AsConfig::default()
+        };
         assert!(c.validate().is_err());
         let mut c = AsConfig::default();
         c.reset.reset_percentage = -0.1;
@@ -249,8 +246,10 @@ mod tests {
         let mut c = AsConfig::default();
         c.reset.reset_limit = 0;
         assert!(c.validate().is_err());
-        let mut c = AsConfig::default();
-        c.stop_check_interval = 0;
+        let c = AsConfig {
+            stop_check_interval: 0,
+            ..AsConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -355,7 +355,9 @@ mod tests {
                     .max_by_key(|&(_, e)| *e)
                     .map(|(i, _)| i)
                     .unwrap();
-                let reported = p.custom_reset(worst, &mut rng).expect("dedicated reset enabled");
+                let reported = p
+                    .custom_reset(worst, &mut rng)
+                    .expect("dedicated reset enabled");
                 assert!(Permutation::validate(p.configuration()).is_ok(), "n={n}");
                 assert_eq!(reported, p.global_cost());
                 assert_eq!(
@@ -381,7 +383,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed >= 15, "reset changed the configuration only {changed}/20 times");
+        assert!(
+            changed >= 15,
+            "reset changed the configuration only {changed}/20 times"
+        );
     }
 
     #[test]
@@ -410,7 +415,10 @@ mod tests {
     fn disabled_dedicated_reset_defers_to_engine() {
         let mut p = CostasProblem::with_config(
             12,
-            CostasModelConfig { dedicated_reset: false, ..Default::default() },
+            CostasModelConfig {
+                dedicated_reset: false,
+                ..Default::default()
+            },
         );
         let mut rng = default_rng(0);
         p.set_configuration(&random_config(12, 9));

@@ -467,8 +467,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid AsConfig")]
     fn invalid_config_panics() {
-        let mut cfg = AsConfig::default();
-        cfg.plateau_probability = 7.0;
+        let cfg = AsConfig {
+            plateau_probability: 7.0,
+            ..AsConfig::default()
+        };
         let _ = Engine::new(CostasProblem::new(5), cfg, 0);
     }
 

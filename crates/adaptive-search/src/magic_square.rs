@@ -150,7 +150,7 @@ impl PermutationProblem for MagicSquareProblem {
     fn variable_errors(&self, out: &mut Vec<u64>) {
         out.clear();
         out.resize(self.values.len(), 0);
-        for idx in 0..self.values.len() {
+        for (idx, slot) in out.iter_mut().enumerate() {
             let mut err = (self.row_sums[self.row_of(idx)] - self.magic).unsigned_abs()
                 + (self.col_sums[self.col_of(idx)] - self.magic).unsigned_abs();
             if self.on_main_diag(idx) {
@@ -159,7 +159,7 @@ impl PermutationProblem for MagicSquareProblem {
             if self.on_anti_diag(idx) {
                 err += (self.diag_anti - self.magic).unsigned_abs();
             }
-            out[idx] = err;
+            *slot = err;
         }
     }
 

@@ -20,7 +20,12 @@ use crate::stats::SolveResult;
 /// default parameters.  Runs until a solution is found (no iteration cap), so for
 /// paper-sized instances (n ≤ 23) it always returns a solution.
 pub fn solve_costas(n: usize, seed: u64) -> SolveResult {
-    solve_costas_with(n, CostasModelConfig::optimized(), AsConfig::costas_defaults(n), seed)
+    solve_costas_with(
+        n,
+        CostasModelConfig::optimized(),
+        AsConfig::costas_defaults(n),
+        seed,
+    )
 }
 
 /// Solve one CAP instance with explicit model and engine configurations.
@@ -58,7 +63,10 @@ where
     let mut total_elapsed = Duration::ZERO;
     let mut merged_stats = crate::stats::SearchStats::default();
     for try_index in 0..max_tries.max(1) {
-        let cfg = AsConfig { max_iterations: iterations_per_try, ..config.clone() };
+        let cfg = AsConfig {
+            max_iterations: iterations_per_try,
+            ..config.clone()
+        };
         let mut engine = Engine::new(factory(), cfg, seeds.child(try_index as u64).seed());
         let mut result = engine.solve();
         total_elapsed += result.elapsed;
@@ -206,7 +214,10 @@ mod tests {
         }
         // different master seeds give (almost surely) different iteration profiles
         let c = driver.run_many(5, 456);
-        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.stats.iterations != y.stats.iterations));
+        assert!(a
+            .iter()
+            .zip(c.iter())
+            .any(|(x, y)| x.stats.iterations != y.stats.iterations));
     }
 
     #[test]

@@ -77,7 +77,9 @@ mod tests {
 
     impl SortingProblem {
         pub fn new(n: usize) -> Self {
-            Self { values: (1..=n).collect() }
+            Self {
+                values: (1..=n).collect(),
+            }
         }
     }
 

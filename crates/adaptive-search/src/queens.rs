@@ -126,12 +126,11 @@ impl PermutationProblem for QueensProblem {
         let n = self.n();
         out.clear();
         out.resize(n, 0);
-        for col in 0..n {
+        for (col, slot) in out.iter_mut().enumerate() {
             let s = self.sum_index(col);
             let d = self.diff_index(col);
             // a queen on a diagonal with k occupants participates in k − 1 conflicts
-            out[col] =
-                u64::from(self.diag_sum[s] - 1) + u64::from(self.diag_diff[d] - 1);
+            *slot = u64::from(self.diag_sum[s] - 1) + u64::from(self.diag_diff[d] - 1);
         }
     }
 
@@ -196,7 +195,10 @@ mod tests {
                 let i = rng.index(n);
                 let j = rng.index(n);
                 p.apply_swap(i, j);
-                assert_eq!(p.global_cost(), QueensProblem::cost_from_scratch(p.configuration()));
+                assert_eq!(
+                    p.global_cost(),
+                    QueensProblem::cost_from_scratch(p.configuration())
+                );
             }
         }
     }

@@ -100,7 +100,11 @@ mod tests {
 
     #[test]
     fn merge_adds_all_counters() {
-        let mut a = SearchStats { iterations: 10, local_minima: 2, ..Default::default() };
+        let mut a = SearchStats {
+            iterations: 10,
+            local_minima: 2,
+            ..Default::default()
+        };
         let b = SearchStats {
             iterations: 5,
             local_minima: 1,
@@ -133,7 +137,10 @@ mod tests {
             solution: Some(vec![1]),
             final_cost: 0,
             best_cost: 0,
-            stats: SearchStats { iterations: 1000, ..Default::default() },
+            stats: SearchStats {
+                iterations: 1000,
+                ..Default::default()
+            },
             elapsed: Duration::from_millis(500),
         };
         assert!(r.is_solved());

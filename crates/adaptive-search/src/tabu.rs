@@ -20,7 +20,10 @@ pub struct TabuList {
 impl TabuList {
     /// Create an empty Tabu list for `n` variables with the given tenure.
     pub fn new(n: usize, tenure: u64) -> Self {
-        Self { frozen_until: vec![0; n], tenure }
+        Self {
+            frozen_until: vec![0; n],
+            tenure,
+        }
     }
 
     /// Number of variables tracked.
@@ -50,7 +53,10 @@ impl TabuList {
 
     /// Number of variables frozen at iteration `now` (the quantity compared to `RL`).
     pub fn frozen_count(&self, now: u64) -> usize {
-        self.frozen_until.iter().filter(|&&until| until > now).count()
+        self.frozen_until
+            .iter()
+            .filter(|&&until| until > now)
+            .count()
     }
 
     /// Clear all freezes (used after a reset or restart).
@@ -77,7 +83,10 @@ mod tests {
         tabu.freeze(2, 10);
         assert!(tabu.is_tabu(2, 10));
         assert!(tabu.is_tabu(2, 12));
-        assert!(!tabu.is_tabu(2, 13), "tenure 3 starting at 10 expires at 13");
+        assert!(
+            !tabu.is_tabu(2, 13),
+            "tenure 3 starting at 10 expires at 13"
+        );
         assert!(!tabu.is_tabu(1, 10));
     }
 

@@ -79,7 +79,9 @@ pub struct DeadlineStop {
 impl DeadlineStop {
     /// Stop after the given duration from now.
     pub fn after(timeout: Duration) -> Self {
-        Self { deadline: Instant::now() + timeout }
+        Self {
+            deadline: Instant::now() + timeout,
+        }
     }
 
     /// Stop at the given instant.

@@ -18,17 +18,26 @@ pub struct SolverBudget {
 impl SolverBudget {
     /// Effectively unlimited budget (used when the instance is known to be easy).
     pub fn unlimited() -> Self {
-        Self { max_moves: u64::MAX, max_time: Duration::from_secs(u64::MAX / 4) }
+        Self {
+            max_moves: u64::MAX,
+            max_time: Duration::from_secs(u64::MAX / 4),
+        }
     }
 
     /// Budget bounded by a number of moves.
     pub fn moves(max_moves: u64) -> Self {
-        Self { max_moves, ..Self::unlimited() }
+        Self {
+            max_moves,
+            ..Self::unlimited()
+        }
     }
 
     /// Budget bounded by wall-clock time.
     pub fn time(max_time: Duration) -> Self {
-        Self { max_time, ..Self::unlimited() }
+        Self {
+            max_time,
+            ..Self::unlimited()
+        }
     }
 
     /// Is the budget exhausted given the elapsed time and move count?
@@ -88,7 +97,10 @@ pub struct AdaptiveSearchSolver {
 
 impl Default for AdaptiveSearchSolver {
     fn default() -> Self {
-        Self { model: CostasModelConfig::optimized(), config: AsConfig::default() }
+        Self {
+            model: CostasModelConfig::optimized(),
+            config: AsConfig::default(),
+        }
     }
 }
 
@@ -104,7 +116,10 @@ impl AdaptiveSearchSolver {
     /// AS with an explicit model, ERR weighting and span included.
     pub fn with_cost_model(cost_model: CostModel) -> Self {
         Self {
-            model: CostasModelConfig { cost_model, ..CostasModelConfig::optimized() },
+            model: CostasModelConfig {
+                cost_model,
+                ..CostasModelConfig::optimized()
+            },
             config: AsConfig::default(),
         }
     }

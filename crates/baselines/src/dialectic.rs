@@ -36,7 +36,10 @@ pub struct DialecticConfig {
 
 impl Default for DialecticConfig {
     fn default() -> Self {
-        Self { antithesis_strength: 0.35, stagnation_limit: 12 }
+        Self {
+            antithesis_strength: 0.35,
+            stagnation_limit: 12,
+        }
     }
 }
 
@@ -190,7 +193,10 @@ mod tests {
         for n in [5usize, 8, 10, 12] {
             let r = ds.solve(n, 17 + n as u64, &SolverBudget::unlimited());
             assert!(r.solved, "n = {n}");
-            assert!(is_costas_permutation(r.solution.as_ref().unwrap()), "n = {n}");
+            assert!(
+                is_costas_permutation(r.solution.as_ref().unwrap()),
+                "n = {n}"
+            );
             assert_eq!(r.best_cost, 0);
         }
     }

@@ -43,7 +43,7 @@ pub fn all_solvers() -> Vec<Box<dyn CostasSolver>> {
         Box::new(DialecticSearch::default()),
         Box::new(QuadraticTabuSearch::default()),
         Box::new(RandomRestartHillClimbing::default()),
-        Box::new(CompleteBacktracking::default()),
+        Box::new(CompleteBacktracking),
     ]
 }
 

@@ -25,7 +25,10 @@ pub struct RestartConfig {
 
 impl Default for RestartConfig {
     fn default() -> Self {
-        Self { max_sideways: 50, max_moves_per_climb: 20_000 }
+        Self {
+            max_sideways: 50,
+            max_moves_per_climb: 20_000,
+        }
     }
 }
 
@@ -54,8 +57,10 @@ impl CostasSolver for RandomRestartHillClimbing {
 
         'outer: loop {
             // fresh random configuration
-            let init: Vec<usize> =
-                random_permutation(n, &mut rng).into_iter().map(|v| v + 1).collect();
+            let init: Vec<usize> = random_permutation(n, &mut rng)
+                .into_iter()
+                .map(|v| v + 1)
+                .collect();
             let mut table = ConflictTable::new(&init, model);
             if table.cost() < best_cost {
                 best_cost = table.cost();
@@ -167,7 +172,10 @@ mod tests {
     #[test]
     fn restarts_happen_on_hard_instances_with_small_climbs() {
         let mut hc = RandomRestartHillClimbing {
-            config: RestartConfig { max_sideways: 2, max_moves_per_climb: 50 },
+            config: RestartConfig {
+                max_sideways: 2,
+                max_moves_per_climb: 50,
+            },
         };
         let r = hc.solve(14, 5, &SolverBudget::moves(2_000));
         assert!(r.solved || r.restarts > 0);

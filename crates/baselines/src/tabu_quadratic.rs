@@ -26,7 +26,10 @@ pub struct TabuConfig {
 
 impl Default for TabuConfig {
     fn default() -> Self {
-        Self { tenure: 8, restart_after: 2_000 }
+        Self {
+            tenure: 8,
+            restart_after: 2_000,
+        }
     }
 }
 
@@ -49,7 +52,10 @@ impl CostasSolver for QuadraticTabuSearch {
         let model = CostModel::basic();
 
         let fresh = |rng: &mut xrand::DefaultRng| -> Vec<usize> {
-            random_permutation(n, rng).into_iter().map(|v| v + 1).collect()
+            random_permutation(n, rng)
+                .into_iter()
+                .map(|v| v + 1)
+                .collect()
         };
 
         let mut table = ConflictTable::new(&fresh(&mut rng), model);
@@ -162,7 +168,12 @@ mod tests {
 
     #[test]
     fn restart_counter_grows_under_tiny_restart_threshold() {
-        let mut ts = QuadraticTabuSearch { config: TabuConfig { tenure: 3, restart_after: 5 } };
+        let mut ts = QuadraticTabuSearch {
+            config: TabuConfig {
+                tenure: 3,
+                restart_after: 5,
+            },
+        };
         let r = ts.solve(13, 2, &SolverBudget::moves(200));
         // with restart_after = 5 and 200 iterations on a hard-ish instance we expect
         // at least one diversification unless it got lucky and solved very fast

@@ -31,7 +31,10 @@ fn bench_ablations(c: &mut Criterion) {
         (
             "unit_err_weight",
             CostasModelConfig {
-                cost_model: CostModel { weight: ErrWeight::Unit, span: RowSpan::ChangHalf },
+                cost_model: CostModel {
+                    weight: ErrWeight::Unit,
+                    span: RowSpan::ChangHalf,
+                },
                 ..CostasModelConfig::optimized()
             },
             AsConfig::costas_defaults(n),
@@ -39,14 +42,20 @@ fn bench_ablations(c: &mut Criterion) {
         (
             "full_triangle",
             CostasModelConfig {
-                cost_model: CostModel { weight: ErrWeight::Quadratic, span: RowSpan::Full },
+                cost_model: CostModel {
+                    weight: ErrWeight::Quadratic,
+                    span: RowSpan::Full,
+                },
                 ..CostasModelConfig::optimized()
             },
             AsConfig::costas_defaults(n),
         ),
         (
             "generic_reset",
-            CostasModelConfig { dedicated_reset: false, ..CostasModelConfig::optimized() },
+            CostasModelConfig {
+                dedicated_reset: false,
+                ..CostasModelConfig::optimized()
+            },
             AsConfig::builder().use_custom_reset(false).build(),
         ),
     ];

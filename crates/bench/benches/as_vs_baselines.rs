@@ -23,7 +23,10 @@ fn bench_solvers(c: &mut Criterion) {
         ("adaptive-search", Box::new(AdaptiveSearchSolver::default())),
         ("dialectic-search", Box::new(DialecticSearch::default())),
         ("tabu-quadratic", Box::new(QuadraticTabuSearch::default())),
-        ("random-restart-hc", Box::new(RandomRestartHillClimbing::default())),
+        (
+            "random-restart-hc",
+            Box::new(RandomRestartHillClimbing::default()),
+        ),
     ];
 
     for (name, solver) in entries.iter_mut() {

@@ -33,7 +33,10 @@ fn variants(n: usize) -> Vec<Variant> {
         Variant {
             name: "err-unit",
             model: CostasModelConfig {
-                cost_model: CostModel { weight: ErrWeight::Unit, span: RowSpan::ChangHalf },
+                cost_model: CostModel {
+                    weight: ErrWeight::Unit,
+                    span: RowSpan::ChangHalf,
+                },
                 ..CostasModelConfig::optimized()
             },
             config: base.clone(),
@@ -41,20 +44,35 @@ fn variants(n: usize) -> Vec<Variant> {
         Variant {
             name: "full-triangle",
             model: CostasModelConfig {
-                cost_model: CostModel { weight: ErrWeight::Quadratic, span: RowSpan::Full },
+                cost_model: CostModel {
+                    weight: ErrWeight::Quadratic,
+                    span: RowSpan::Full,
+                },
                 ..CostasModelConfig::optimized()
             },
             config: base.clone(),
         },
         Variant {
             name: "generic-reset",
-            model: CostasModelConfig { dedicated_reset: false, ..CostasModelConfig::optimized() },
-            config: AsConfig { reset: adaptive_search::ResetPolicy { use_custom_reset: false, ..base.reset }, ..base.clone() },
+            model: CostasModelConfig {
+                dedicated_reset: false,
+                ..CostasModelConfig::optimized()
+            },
+            config: AsConfig {
+                reset: adaptive_search::ResetPolicy {
+                    use_custom_reset: false,
+                    ..base.reset
+                },
+                ..base.clone()
+            },
         },
         Variant {
             name: "plateau-off",
             model: CostasModelConfig::optimized(),
-            config: AsConfig { plateau_probability: 0.0, ..base.clone() },
+            config: AsConfig {
+                plateau_probability: 0.0,
+                ..base.clone()
+            },
         },
     ]
 }
@@ -70,10 +88,20 @@ fn main() {
     let runs = options.runs(20, 100);
 
     let mut table = TextTable::new(vec![
-        "size", "variant", "avg time (s)", "avg iters", "x vs optimized", "escape rate",
+        "size",
+        "variant",
+        "avg time (s)",
+        "avg iters",
+        "x vs optimized",
+        "escape rate",
     ]);
     let mut csv = TextTable::new(vec![
-        "size", "variant", "avg_s", "avg_iters", "slowdown_vs_optimized", "escape_rate",
+        "size",
+        "variant",
+        "avg_s",
+        "avg_iters",
+        "slowdown_vs_optimized",
+        "escape_rate",
     ]);
 
     for &n in sizes {
@@ -86,8 +114,11 @@ fn main() {
             let mut resets = 0u64;
             for r in 0..runs {
                 let problem = CostasProblem::with_config(n, variant.model);
-                let mut engine =
-                    Engine::new(problem, variant.config.clone(), seeds.child(r as u64).seed());
+                let mut engine = Engine::new(
+                    problem,
+                    variant.config.clone(),
+                    seeds.child(r as u64).seed(),
+                );
                 let result = engine.solve();
                 assert!(result.is_solved(), "{} n={n} must solve", variant.name);
                 times.push(result.elapsed.as_secs_f64());

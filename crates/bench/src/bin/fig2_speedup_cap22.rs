@@ -38,12 +38,8 @@ fn main() {
         let cluster = VirtualCluster::new(platform.clone());
         let mut batches: Vec<(usize, Vec<f64>)> = Vec::new();
         for &c in &cores {
-            let sims = cluster.run_exact_many(
-                &spec,
-                c,
-                runs,
-                cell_seed(options.master_seed, n, c, 2),
-            );
+            let sims =
+                cluster.run_exact_many(&spec, c, runs, cell_seed(options.master_seed, n, c, 2));
             batches.push((c, sims.iter().map(|s| s.virtual_seconds).collect()));
             eprintln!("  [done] {} {c} cores", platform.name);
         }
@@ -64,7 +60,10 @@ fn main() {
         }
         series.push(Series::new(
             platform.name,
-            points.iter().map(|p| (p.cores as f64, p.speedup_mean)).collect(),
+            points
+                .iter()
+                .map(|p| (p.cores as f64, p.speedup_mean))
+                .collect(),
         ));
     }
 

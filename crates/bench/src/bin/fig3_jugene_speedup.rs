@@ -51,7 +51,10 @@ fn main() {
             batches.push((c, sims.iter().map(|s| s.virtual_seconds).collect()));
         }
         let points = observed_speedups(&batches);
-        println!("\nCAP {n} (stands in for the paper's CAP {}):", 21 + sizes.iter().position(|&s| s == n).unwrap_or(0));
+        println!(
+            "\nCAP {n} (stands in for the paper's CAP {}):",
+            21 + sizes.iter().position(|&s| s == n).unwrap_or(0)
+        );
         for p in &points {
             println!(
                 "  {:>5} cores: avg {:>9.3} s   speed-up {:>6.2}   (ideal {:>5.1})",
@@ -67,13 +70,19 @@ fn main() {
         }
         series.push(Series::new(
             format!("CAP {n}"),
-            points.iter().map(|p| (p.cores as f64, p.speedup_mean)).collect(),
+            points
+                .iter()
+                .map(|p| (p.cores as f64, p.speedup_mean))
+                .collect(),
         ));
     }
 
     series.push(Series::new(
         "ideal",
-        cores.iter().map(|&c| (c as f64, c as f64 / 512.0)).collect(),
+        cores
+            .iter()
+            .map(|&c| (c as f64, c as f64 / 512.0))
+            .collect(),
     ));
     let log_series: Vec<Series> = series.iter().map(|s| s.log2_log2()).collect();
     println!("\nlog2(speed-up) vs log2(cores):\n");

@@ -8,8 +8,8 @@
 //! Quick mode (default): n ∈ {12…16}, 25 runs.  Full mode (`COSTAS_FULL=1`):
 //! n ∈ {16…20}, 100 runs — expect hours for n = 19 and 20, exactly like the paper.
 
-use bench::{banner, write_csv, HarnessOptions};
 use bench::protocol::sequential_batch;
+use bench::{banner, write_csv, HarnessOptions};
 use runtime_stats::{table::fmt_count, table::fmt_seconds, BatchStats, TextTable};
 
 fn main() {
@@ -23,25 +23,48 @@ fn main() {
     let runs = options.runs(25, 100);
 
     let mut table = TextTable::new(vec![
-        "size", "stat", "time (s)", "iterations", "local min", "avg/min ratio",
+        "size",
+        "stat",
+        "time (s)",
+        "iterations",
+        "local min",
+        "avg/min ratio",
     ]);
     let mut csv = TextTable::new(vec![
-        "size", "runs", "avg_time_s", "min_time_s", "max_time_s", "avg_iters", "min_iters",
-        "max_iters", "avg_local_min", "ratio",
+        "size",
+        "runs",
+        "avg_time_s",
+        "min_time_s",
+        "max_time_s",
+        "avg_iters",
+        "min_iters",
+        "max_iters",
+        "avg_local_min",
+        "ratio",
     ]);
 
     for &n in sizes {
         let results = sequential_batch(n, runs, options.master_seed ^ n as u64);
-        assert!(results.iter().all(|r| r.is_solved()), "all runs must solve n={n}");
+        assert!(
+            results.iter().all(|r| r.is_solved()),
+            "all runs must solve n={n}"
+        );
         let times: Vec<f64> = results.iter().map(|r| r.elapsed.as_secs_f64()).collect();
         let iters: Vec<f64> = results.iter().map(|r| r.stats.iterations as f64).collect();
-        let lmins: Vec<f64> = results.iter().map(|r| r.stats.local_minima as f64).collect();
+        let lmins: Vec<f64> = results
+            .iter()
+            .map(|r| r.stats.local_minima as f64)
+            .collect();
         let t = BatchStats::from_values(&times);
         let i = BatchStats::from_values(&iters);
         let l = BatchStats::from_values(&lmins);
         // The paper's "ratio" column: avg/min time, falling back to iteration counts
         // when the minimum time is below the clock resolution.
-        let ratio = if t.min > 1e-6 { t.mean / t.min } else { i.mean / i.min.max(1.0) };
+        let ratio = if t.min > 1e-6 {
+            t.mean / t.min
+        } else {
+            i.mean / i.min.max(1.0)
+        };
 
         for (stat, tv, iv, lv) in [
             ("avg", t.mean, i.mean, l.mean),
@@ -49,12 +72,20 @@ fn main() {
             ("max", t.max, i.max, l.max),
         ] {
             table.add_row(vec![
-                if stat == "avg" { n.to_string() } else { String::new() },
+                if stat == "avg" {
+                    n.to_string()
+                } else {
+                    String::new()
+                },
                 stat.to_string(),
                 fmt_seconds(tv),
                 fmt_count(iv.round() as u64),
                 fmt_count(lv.round() as u64),
-                if stat == "avg" { format!("{ratio:.0}") } else { String::new() },
+                if stat == "avg" {
+                    format!("{ratio:.0}")
+                } else {
+                    String::new()
+                },
             ]);
         }
         csv.add_row(vec![

@@ -13,8 +13,8 @@
 //! Quick mode: n ∈ {10…13}, 15 runs.  Full mode: n ∈ {13…18}, 100 runs.
 
 use baselines::{
-    AdaptiveSearchSolver, CompleteBacktracking, CostasSolver, DialecticSearch,
-    QuadraticTabuSearch, RandomRestartHillClimbing, SolverBudget,
+    AdaptiveSearchSolver, CompleteBacktracking, CostasSolver, DialecticSearch, QuadraticTabuSearch,
+    RandomRestartHillClimbing, SolverBudget,
 };
 use bench::{banner, write_csv, HarnessOptions};
 use runtime_stats::{table::fmt_seconds, BatchStats, TextTable};
@@ -53,10 +53,24 @@ fn main() {
     let complete_limit = if options.full { 16 } else { 13 };
 
     let mut table = TextTable::new(vec![
-        "size", "AS (s)", "DS (s)", "DS/AS", "tabu (s)", "tabu/AS", "RR-HC (s)", "complete (s)",
+        "size",
+        "AS (s)",
+        "DS (s)",
+        "DS/AS",
+        "tabu (s)",
+        "tabu/AS",
+        "RR-HC (s)",
+        "complete (s)",
     ]);
     let mut csv = TextTable::new(vec![
-        "size", "as_s", "ds_s", "ds_over_as", "tabu_s", "tabu_over_as", "rrhc_s", "complete_s",
+        "size",
+        "as_s",
+        "ds_s",
+        "ds_over_as",
+        "tabu_s",
+        "tabu_over_as",
+        "rrhc_s",
+        "complete_s",
     ]);
 
     for &n in sizes {

@@ -31,19 +31,28 @@ pub struct HarnessOptions {
 impl HarnessOptions {
     /// Read options from the environment (`COSTAS_FULL`, `COSTAS_RUNS`, `COSTAS_SEED`).
     pub fn from_env() -> Self {
-        let full = std::env::var("COSTAS_FULL").map(|v| v != "0").unwrap_or(false);
-        let runs_override = std::env::var("COSTAS_RUNS").ok().and_then(|v| v.parse().ok());
+        let full = std::env::var("COSTAS_FULL")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        let runs_override = std::env::var("COSTAS_RUNS")
+            .ok()
+            .and_then(|v| v.parse().ok());
         let master_seed = std::env::var("COSTAS_SEED")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(0x2012_C057_A5u64);
-        Self { full, runs_override, master_seed }
+            .unwrap_or(0x0020_12C0_57A5_u64);
+        Self {
+            full,
+            runs_override,
+            master_seed,
+        }
     }
 
     /// Pick the repetition count: the override when present, otherwise `full_runs` in
     /// full mode and `quick_runs` in quick mode.
     pub fn runs(&self, quick_runs: usize, full_runs: usize) -> usize {
-        self.runs_override.unwrap_or(if self.full { full_runs } else { quick_runs })
+        self.runs_override
+            .unwrap_or(if self.full { full_runs } else { quick_runs })
     }
 
     /// Pick an instance list: the paper's sizes in full mode, the scaled list in
@@ -59,7 +68,11 @@ impl HarnessOptions {
 
 impl Default for HarnessOptions {
     fn default() -> Self {
-        Self { full: false, runs_override: None, master_seed: 0x2012_C057_A5 }
+        Self {
+            full: false,
+            runs_override: None,
+            master_seed: 0x0020_12C0_57A5,
+        }
     }
 }
 
@@ -85,7 +98,11 @@ pub fn banner(experiment: &str, description: &str, options: &HarnessOptions) {
     println!("{description}");
     println!(
         "mode: {}   master seed: {:#x}",
-        if options.full { "FULL (paper sizes)" } else { "quick (scaled down; COSTAS_FULL=1 for paper sizes)" },
+        if options.full {
+            "FULL (paper sizes)"
+        } else {
+            "quick (scaled down; COSTAS_FULL=1 for paper sizes)"
+        },
         options.master_seed
     );
     println!("================================================================");
@@ -100,10 +117,16 @@ mod tests {
         let quick = HarnessOptions::default();
         assert_eq!(quick.runs(10, 100), 10);
         assert_eq!(quick.sizes(&[14, 15], &[18, 19, 20]), &[14, 15]);
-        let full = HarnessOptions { full: true, ..Default::default() };
+        let full = HarnessOptions {
+            full: true,
+            ..Default::default()
+        };
         assert_eq!(full.runs(10, 100), 100);
         assert_eq!(full.sizes(&[14, 15], &[18, 19, 20]), &[18, 19, 20]);
-        let overridden = HarnessOptions { runs_override: Some(3), ..Default::default() };
+        let overridden = HarnessOptions {
+            runs_override: Some(3),
+            ..Default::default()
+        };
         assert_eq!(overridden.runs(10, 100), 3);
     }
 

@@ -62,16 +62,15 @@ pub fn parallel_cell(
 ) -> CellSummary {
     let runs_vec: Vec<SimulatedRun> = match mode {
         CellMode::Exact => cluster.run_exact_many(spec, cores, runs, master_seed),
-        CellMode::Sampled => cluster.run_sampled_many(
-            samples,
-            spec.check_interval(),
-            cores,
-            runs,
-            master_seed,
-        ),
+        CellMode::Sampled => {
+            cluster.run_sampled_many(samples, spec.check_interval(), cores, runs, master_seed)
+        }
     };
     let seconds: Vec<f64> = runs_vec.iter().map(|r| r.virtual_seconds).collect();
-    let iterations: Vec<f64> = runs_vec.iter().map(|r| r.winner_iterations as f64).collect();
+    let iterations: Vec<f64> = runs_vec
+        .iter()
+        .map(|r| r.winner_iterations as f64)
+        .collect();
     CellSummary {
         cores,
         seconds: BatchStats::from_values(&seconds),

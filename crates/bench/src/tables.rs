@@ -43,7 +43,10 @@ pub struct ParallelTableOutput {
 }
 
 /// Run the whole table.
-pub fn run_parallel_table(spec: &ParallelTableSpec, options: &HarnessOptions) -> ParallelTableOutput {
+pub fn run_parallel_table(
+    spec: &ParallelTableSpec,
+    options: &HarnessOptions,
+) -> ParallelTableOutput {
     let cluster = VirtualCluster::new(spec.platform.clone())
         .with_reference_rate(calibrated_rate(&spec.sizes, options));
 
@@ -53,7 +56,15 @@ pub fn run_parallel_table(spec: &ParallelTableSpec, options: &HarnessOptions) ->
             .collect::<Vec<_>>(),
     );
     let mut csv = TextTable::new(vec![
-        "size", "cores", "mode", "runs", "avg_s", "med_s", "min_s", "max_s", "avg_iters",
+        "size",
+        "cores",
+        "mode",
+        "runs",
+        "avg_s",
+        "med_s",
+        "min_s",
+        "max_s",
+        "avg_iters",
     ]);
     let mut cells = Vec::new();
 
@@ -61,11 +72,13 @@ pub fn run_parallel_table(spec: &ParallelTableSpec, options: &HarnessOptions) ->
         let walk = WalkSpec::costas(n);
         // Empirical sample for the sampled cells of this row (only gathered when some
         // column actually needs it).
-        let needs_sample = spec.cores.iter().any(|&c| {
-            mode_for_cores(c, spec.exact_core_limit) == CellMode::Sampled
-        });
+        let needs_sample = spec
+            .cores
+            .iter()
+            .any(|&c| mode_for_cores(c, spec.exact_core_limit) == CellMode::Sampled);
         let samples: Vec<u64> = if needs_sample {
-            let batch = sequential_batch(n, spec.sample_runs, cell_seed(options.master_seed, n, 0, 7));
+            let batch =
+                sequential_batch(n, spec.sample_runs, cell_seed(options.master_seed, n, 0, 7));
             iteration_samples(&batch)
         } else {
             Vec::new()
@@ -98,12 +111,7 @@ pub fn run_parallel_table(spec: &ParallelTableSpec, options: &HarnessOptions) ->
             eprintln!("  [done] n = {n}, {cores} cores ({mode:?})");
         }
 
-        for (label, pick) in [
-            ("avg", 0usize),
-            ("med", 1),
-            ("min", 2),
-            ("max", 3),
-        ] {
+        for (label, pick) in [("avg", 0usize), ("med", 1), ("min", 2), ("max", 3)] {
             let mut cells_text = vec![if pick == 0 {
                 format!("{n}  {label}")
             } else {
@@ -120,7 +128,7 @@ pub fn run_parallel_table(spec: &ParallelTableSpec, options: &HarnessOptions) ->
             }
             table.add_row(cells_text);
         }
-        for (cores, summary) in spec.cores.iter().zip(row_cells.into_iter()) {
+        for (cores, summary) in spec.cores.iter().zip(row_cells) {
             let _ = cores;
             cells.push((n, summary));
         }

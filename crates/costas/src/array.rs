@@ -20,7 +20,11 @@ pub enum PermutationError {
     /// The vector was empty.
     Empty,
     /// A value was outside `1..=n`.
-    OutOfRange { index: usize, value: usize, n: usize },
+    OutOfRange {
+        index: usize,
+        value: usize,
+        n: usize,
+    },
     /// A value occurred more than once.
     Duplicate { value: usize },
     /// The candidate permutation is valid but the Costas property does not hold
@@ -62,7 +66,9 @@ impl Permutation {
     /// Panics if `n == 0`.
     pub fn identity(n: usize) -> Self {
         assert!(n > 0, "permutation order must be positive");
-        Self { values: (1..=n).collect() }
+        Self {
+            values: (1..=n).collect(),
+        }
     }
 
     /// Validate that `values` is a permutation of `1..=n`.
@@ -197,7 +203,11 @@ impl CostasArray {
         let mut out = String::with_capacity(n * (2 * n + 1));
         for row in (1..=n).rev() {
             for col in 0..n {
-                out.push(if self.perm.value_at(col) == row { 'X' } else { '.' });
+                out.push(if self.perm.value_at(col) == row {
+                    'X'
+                } else {
+                    '.'
+                });
                 if col + 1 < n {
                     out.push(' ');
                 }
@@ -240,11 +250,19 @@ mod tests {
     fn out_of_range_rejected() {
         assert_eq!(
             Permutation::try_new(vec![1, 4, 2]),
-            Err(PermutationError::OutOfRange { index: 1, value: 4, n: 3 })
+            Err(PermutationError::OutOfRange {
+                index: 1,
+                value: 4,
+                n: 3
+            })
         );
         assert_eq!(
             Permutation::try_new(vec![0, 1]),
-            Err(PermutationError::OutOfRange { index: 0, value: 0, n: 2 })
+            Err(PermutationError::OutOfRange {
+                index: 0,
+                value: 0,
+                n: 2
+            })
         );
     }
 
@@ -299,10 +317,16 @@ mod tests {
 
     #[test]
     fn error_display_strings() {
-        let e = PermutationError::OutOfRange { index: 1, value: 9, n: 3 };
+        let e = PermutationError::OutOfRange {
+            index: 1,
+            value: 9,
+            n: 3,
+        };
         assert!(e.to_string().contains("outside"));
         assert!(PermutationError::Empty.to_string().contains("empty"));
-        assert!(PermutationError::Duplicate { value: 2 }.to_string().contains("twice"));
+        assert!(PermutationError::Duplicate { value: 2 }
+            .to_string()
+            .contains("twice"));
         assert!(PermutationError::NotCostas.to_string().contains("Costas"));
     }
 }

@@ -106,7 +106,6 @@ mod tests {
         &[1, 3, 2],
         &[3, 4, 2, 1, 5],
         &[2, 4, 8, 5, 10, 9, 7, 3, 6, 1], // order 10: Welch construction, p = 11, g = 2
-
     ];
 
     #[test]

@@ -127,7 +127,10 @@ pub fn welch_with(p: usize, g: usize, shift: usize) -> Result<CostasArray, Const
         return Err(ConstructionError::NotPrime(p));
     }
     if !is_primitive_root(g, p) {
-        return Err(ConstructionError::NotPrimitiveRoot { modulus: p, generator: g });
+        return Err(ConstructionError::NotPrimitiveRoot {
+            modulus: p,
+            generator: g,
+        });
     }
     let n = p - 1;
     let values: Vec<usize> = (1..=n).map(|i| pow_mod(g, i + shift, p)).collect();
@@ -155,7 +158,10 @@ pub fn golomb_with(q: usize, alpha: usize, beta: usize) -> Result<CostasArray, C
     }
     for &g in &[alpha, beta] {
         if !is_primitive_root(g, q) {
-            return Err(ConstructionError::NotPrimitiveRoot { modulus: q, generator: g });
+            return Err(ConstructionError::NotPrimitiveRoot {
+                modulus: q,
+                generator: g,
+            });
         }
     }
     let n = q - 2;
@@ -249,8 +255,14 @@ mod tests {
 
     #[test]
     fn welch_rejects_bad_inputs() {
-        assert_eq!(welch_construction(9), Err(ConstructionError::UnsupportedOrder(9)));
-        assert!(matches!(welch_with(9, 2, 0), Err(ConstructionError::NotPrime(9))));
+        assert_eq!(
+            welch_construction(9),
+            Err(ConstructionError::UnsupportedOrder(9))
+        );
+        assert!(matches!(
+            welch_with(9, 2, 0),
+            Err(ConstructionError::NotPrime(9))
+        ));
         assert!(matches!(
             welch_with(11, 3, 0),
             Err(ConstructionError::NotPrimitiveRoot { .. })
@@ -279,12 +291,18 @@ mod tests {
 
     #[test]
     fn golomb_rejects_bad_inputs() {
-        assert!(matches!(golomb_with(12, 2, 2), Err(ConstructionError::NotPrime(12))));
+        assert!(matches!(
+            golomb_with(12, 2, 2),
+            Err(ConstructionError::NotPrime(12))
+        ));
         assert!(matches!(
             golomb_with(13, 3, 2),
             Err(ConstructionError::NotPrimitiveRoot { .. })
         ));
-        assert_eq!(golomb_construction(20), Err(ConstructionError::UnsupportedOrder(20)));
+        assert_eq!(
+            golomb_construction(20),
+            Err(ConstructionError::UnsupportedOrder(20))
+        );
     }
 
     #[test]
@@ -302,9 +320,14 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(ConstructionError::NotPrime(9).to_string().contains("prime"));
-        assert!(ConstructionError::UnsupportedOrder(13).to_string().contains("13"));
-        assert!(ConstructionError::NotPrimitiveRoot { modulus: 11, generator: 3 }
+        assert!(ConstructionError::UnsupportedOrder(13)
             .to_string()
-            .contains("primitive root"));
+            .contains("13"));
+        assert!(ConstructionError::NotPrimitiveRoot {
+            modulus: 11,
+            generator: 3
+        }
+        .to_string()
+        .contains("primitive root"));
     }
 }

@@ -83,12 +83,18 @@ pub struct CostModel {
 impl CostModel {
     /// The paper's optimised model: quadratic weights over the Chang half-triangle.
     pub fn optimized() -> Self {
-        Self { weight: ErrWeight::Quadratic, span: RowSpan::ChangHalf }
+        Self {
+            weight: ErrWeight::Quadratic,
+            span: RowSpan::ChangHalf,
+        }
     }
 
     /// The paper's basic model: unit weights over the full triangle.
     pub fn basic() -> Self {
-        Self { weight: ErrWeight::Unit, span: RowSpan::Full }
+        Self {
+            weight: ErrWeight::Unit,
+            span: RowSpan::Full,
+        }
     }
 
     /// Largest scored distance for order `n`.
@@ -427,7 +433,10 @@ mod tests {
             rec(&mut Vec::new(), &mut vec![false; n], &mut out);
             out
         }
-        let half = CostModel { weight: ErrWeight::Unit, span: RowSpan::ChangHalf };
+        let half = CostModel {
+            weight: ErrWeight::Unit,
+            span: RowSpan::ChangHalf,
+        };
         for n in 2..=7 {
             for p in permutations(n) {
                 let zero_half = half.global_cost(&p) == 0;

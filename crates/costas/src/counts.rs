@@ -14,35 +14,35 @@
 /// 1 through 29, as published in the enumeration literature (Drakakis et al., 2011,
 /// and earlier enumerations referenced by the paper).
 pub const KNOWN_COUNTS: [u64; 29] = [
-    1,      // n = 1
-    2,      // n = 2
-    4,      // n = 3
-    12,     // n = 4
-    40,     // n = 5
-    116,    // n = 6
-    200,    // n = 7
-    444,    // n = 8
-    760,    // n = 9
-    2160,   // n = 10
-    4368,   // n = 11
-    7852,   // n = 12
-    12828,  // n = 13
-    17252,  // n = 14
-    19612,  // n = 15
-    21104,  // n = 16
-    18276,  // n = 17
-    15096,  // n = 18
-    10240,  // n = 19
-    6464,   // n = 20
-    3536,   // n = 21
-    2052,   // n = 22
-    872,    // n = 23
-    200,    // n = 24
-    88,     // n = 25
-    56,     // n = 26
-    204,    // n = 27
-    712,    // n = 28
-    164,    // n = 29
+    1,     // n = 1
+    2,     // n = 2
+    4,     // n = 3
+    12,    // n = 4
+    40,    // n = 5
+    116,   // n = 6
+    200,   // n = 7
+    444,   // n = 8
+    760,   // n = 9
+    2160,  // n = 10
+    4368,  // n = 11
+    7852,  // n = 12
+    12828, // n = 13
+    17252, // n = 14
+    19612, // n = 15
+    21104, // n = 16
+    18276, // n = 17
+    15096, // n = 18
+    10240, // n = 19
+    6464,  // n = 20
+    3536,  // n = 21
+    2052,  // n = 22
+    872,   // n = 23
+    200,   // n = 24
+    88,    // n = 25
+    56,    // n = 26
+    204,   // n = 27
+    712,   // n = 28
+    164,   // n = 29
 ];
 
 /// The published total count of Costas arrays of order `n`, if known.

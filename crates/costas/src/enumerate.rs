@@ -98,7 +98,15 @@ where
             stats.backtracks += 1;
         }
     }
-    rec(0, n, &mut values, &mut used, &mut stats, &mut visit, &mut stopped);
+    rec(
+        0,
+        n,
+        &mut values,
+        &mut used,
+        &mut stats,
+        &mut visit,
+        &mut stopped,
+    );
     stats
 }
 
@@ -126,7 +134,8 @@ pub fn count_costas(n: usize) -> u64 {
 pub fn first_costas(n: usize) -> (Option<CostasArray>, EnumerationStats) {
     let mut found = None;
     let stats = enumerate_with(n, |values| {
-        found = Some(CostasArray::try_new(values.to_vec()).expect("enumerator emits Costas arrays"));
+        found =
+            Some(CostasArray::try_new(values.to_vec()).expect("enumerator emits Costas arrays"));
         Visit::Stop
     });
     (found, stats)
@@ -208,7 +217,10 @@ mod tests {
         for n in 3..=7 {
             let total = count_costas(n);
             let classes = count_costas_classes(n);
-            assert!(classes * 8 >= total, "n={n}: {classes} classes, {total} total");
+            assert!(
+                classes * 8 >= total,
+                "n={n}: {classes} classes, {total} total"
+            );
             assert!(classes <= total);
         }
     }

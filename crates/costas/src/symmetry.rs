@@ -136,7 +136,10 @@ mod tests {
         assert!(is_costas_permutation(&EXAMPLE));
         for s in Symmetry::ALL {
             let t = s.apply(&EXAMPLE);
-            assert!(is_costas_permutation(&t), "{s:?} broke the Costas property: {t:?}");
+            assert!(
+                is_costas_permutation(&t),
+                "{s:?} broke the Costas property: {t:?}"
+            );
         }
         // and they preserve NON-Costas-ness too (the group acts on all grids)
         let bad = [1usize, 2, 3, 4, 5];
@@ -179,7 +182,11 @@ mod tests {
 
     #[test]
     fn flips_are_involutions() {
-        for s in [Symmetry::FlipHorizontal, Symmetry::FlipVertical, Symmetry::AntiTranspose] {
+        for s in [
+            Symmetry::FlipHorizontal,
+            Symmetry::FlipVertical,
+            Symmetry::AntiTranspose,
+        ] {
             let twice = s.apply(&s.apply(&EXAMPLE));
             assert_eq!(twice, EXAMPLE.to_vec(), "{s:?} should be an involution");
         }

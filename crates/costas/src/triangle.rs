@@ -33,7 +33,10 @@ impl DifferenceTriangle {
     /// # Panics
     /// Panics if `values` is empty.
     pub fn new(values: &[usize]) -> Self {
-        assert!(!values.is_empty(), "difference triangle of an empty sequence");
+        assert!(
+            !values.is_empty(),
+            "difference triangle of an empty sequence"
+        );
         let n = values.len();
         let mut rows = Vec::with_capacity(n.saturating_sub(1));
         for d in 1..n {
@@ -61,7 +64,11 @@ impl DifferenceTriangle {
     /// # Panics
     /// Panics if `d` is out of range.
     pub fn row(&self, d: usize) -> &[i64] {
-        assert!(d >= 1 && d < self.n, "row distance {d} out of range for order {}", self.n);
+        assert!(
+            d >= 1 && d < self.n,
+            "row distance {d} out of range for order {}",
+            self.n
+        );
         &self.rows[d - 1]
     }
 

@@ -107,7 +107,7 @@ proptest! {
     #[test]
     fn orbit_sizes_divide_eight(perm in arb_permutation()) {
         let len = orbit(&perm).len();
-        prop_assert!(len >= 1 && len <= 8);
+        prop_assert!((1..=8).contains(&len));
         prop_assert_eq!(8 % len, 0);
     }
 

@@ -27,7 +27,12 @@ pub fn gather_to_root<T: Send>(
             let env = comm.recv_matching(ANY_SOURCE, GATHER_TAG)?;
             slots[env.source] = Some(env.payload);
         }
-        Ok(Some(slots.into_iter().map(|s| s.expect("every rank sent")).collect()))
+        Ok(Some(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every rank sent"))
+                .collect(),
+        ))
     } else {
         comm.send(0, GATHER_TAG, value)?;
         Ok(None)
@@ -60,10 +65,7 @@ pub struct FirstResponder;
 
 impl FirstResponder {
     /// Announce that this rank has found a solution, notifying every other rank.
-    pub fn announce<T: Send + Clone>(
-        comm: &Communicator<T>,
-        payload: T,
-    ) -> Result<(), CommError> {
+    pub fn announce<T: Send + Clone>(comm: &Communicator<T>, payload: T) -> Result<(), CommError> {
         comm.send_to_all_others(WINNER_TAG, payload)
     }
 

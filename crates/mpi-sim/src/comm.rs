@@ -1,9 +1,8 @@
 //! Ranks, communicators, point-to-point messaging and non-blocking probes.
 
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::sync::Arc;
-
-use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
 
 use crate::error::CommError;
 use crate::message::{Envelope, Tag, ANY_SOURCE, ANY_TAG};
@@ -74,7 +73,10 @@ impl<T: Send> Communicator<T> {
     /// Send `payload` to `dest` with the given tag (asynchronous, never blocks).
     pub fn send(&self, dest: usize, tag: Tag, payload: T) -> Result<(), CommError> {
         if dest >= self.size {
-            return Err(CommError::InvalidRank { rank: dest, world_size: self.size });
+            return Err(CommError::InvalidRank {
+                rank: dest,
+                world_size: self.size,
+            });
         }
         self.senders[dest]
             .send(Envelope::new(self.rank, tag, payload))
@@ -97,11 +99,10 @@ impl<T: Send> Communicator<T> {
     /// Drain everything currently sitting in the channel into the pending buffer
     /// without blocking.
     fn drain_channel(&mut self) {
-        loop {
-            match self.receiver.try_recv() {
-                Ok(env) => self.pending.push_back(env),
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        // Both `Empty` and `Disconnected` end the drain: a disconnected channel
+        // simply has nothing more to deliver.
+        while let Ok(env) = self.receiver.try_recv() {
+            self.pending.push_back(env);
         }
     }
 
@@ -163,7 +164,10 @@ impl<T: Send> Communicator<T> {
         T: Clone,
     {
         if root >= self.size {
-            return Err(CommError::InvalidRank { rank: root, world_size: self.size });
+            return Err(CommError::InvalidRank {
+                rank: root,
+                world_size: self.size,
+            });
         }
         if self.rank == root {
             let v = value.expect("the broadcast root must supply a value");
@@ -245,14 +249,20 @@ mod tests {
         let world = Universe::world::<u32>(2);
         assert_eq!(
             world[0].send(5, 0, 1),
-            Err(CommError::InvalidRank { rank: 5, world_size: 2 })
+            Err(CommError::InvalidRank {
+                rank: 5,
+                world_size: 2
+            })
         );
     }
 
     #[test]
     fn iprobe_sees_messages_without_consuming_them() {
         let mut world = Universe::world::<u32>(2);
-        let (a, b) = { let (l, r) = world.split_at_mut(1); (&mut l[0], &mut r[0]) };
+        let (a, b) = {
+            let (l, r) = world.split_at_mut(1);
+            (&mut l[0], &mut r[0])
+        };
         assert!(!b.iprobe(ANY_SOURCE, ANY_TAG));
         a.send(1, 3, 42).unwrap();
         assert!(b.iprobe(ANY_SOURCE, 3));
@@ -267,7 +277,10 @@ mod tests {
     #[test]
     fn selective_receive_skips_non_matching_messages() {
         let mut world = Universe::world::<u32>(2);
-        let (a, b) = { let (l, r) = world.split_at_mut(1); (&mut l[0], &mut r[0]) };
+        let (a, b) = {
+            let (l, r) = world.split_at_mut(1);
+            (&mut l[0], &mut r[0])
+        };
         a.send(1, 1, 10).unwrap();
         a.send(1, 2, 20).unwrap();
         a.send(1, 1, 11).unwrap();
@@ -315,7 +328,7 @@ mod tests {
         });
         for (bcast, sum) in results {
             assert_eq!(bcast, 99);
-            assert_eq!(sum, 0 + 1 + 2 + 3);
+            assert_eq!(sum, 1 + 2 + 3);
         }
     }
 

@@ -35,8 +35,17 @@ mod tests {
 
     #[test]
     fn display_messages_mention_the_ranks() {
-        assert!(CommError::InvalidRank { rank: 9, world_size: 4 }.to_string().contains('9'));
-        assert!(CommError::Disconnected { peer: 3 }.to_string().contains('3'));
-        assert!(CommError::ChannelClosed.to_string().contains("disconnected"));
+        assert!(CommError::InvalidRank {
+            rank: 9,
+            world_size: 4
+        }
+        .to_string()
+        .contains('9'));
+        assert!(CommError::Disconnected { peer: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(CommError::ChannelClosed
+            .to_string()
+            .contains("disconnected"));
     }
 }

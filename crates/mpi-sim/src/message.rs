@@ -23,7 +23,11 @@ pub struct Envelope<T> {
 impl<T> Envelope<T> {
     /// Create an envelope (used by the communicator internally and by tests).
     pub fn new(source: usize, tag: Tag, payload: T) -> Self {
-        Self { source, tag, payload }
+        Self {
+            source,
+            tag,
+            payload,
+        }
     }
 
     /// Does this envelope match a (possibly wildcarded) source/tag filter?
@@ -33,7 +37,11 @@ impl<T> Envelope<T> {
 
     /// Map the payload, keeping the metadata.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Envelope<U> {
-        Envelope { source: self.source, tag: self.tag, payload: f(self.payload) }
+        Envelope {
+            source: self.source,
+            tag: self.tag,
+            payload: f(self.payload),
+        }
     }
 }
 

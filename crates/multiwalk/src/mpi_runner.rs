@@ -44,7 +44,11 @@ impl MpiRunner {
     /// Panics if `ranks == 0`.
     pub fn new(spec: WalkSpec, ranks: usize) -> Self {
         assert!(ranks > 0, "at least one rank is required");
-        Self { spec, ranks, max_threads: ranks }
+        Self {
+            spec,
+            ranks,
+            max_threads: ranks,
+        }
     }
 
     /// Cap the number of OS threads used to execute the ranks (ranks beyond the cap
@@ -105,10 +109,11 @@ impl MpiRunner {
         );
 
         let elapsed = start.elapsed();
-        let winner = reports
-            .iter()
-            .position(|r| r.announced)
-            .or_else(|| reports.iter().position(|r| r.result.status == SolveStatus::Solved));
+        let winner = reports.iter().position(|r| r.announced).or_else(|| {
+            reports
+                .iter()
+                .position(|r| r.result.status == SolveStatus::Solved)
+        });
         let solution = winner.and_then(|w| reports[w].result.solution.clone());
         MultiWalkResult {
             solution,
@@ -150,8 +155,7 @@ mod tests {
 
     #[test]
     fn mpi_runner_reports_failure_when_budget_too_small() {
-        let spec = WalkSpec::costas(18)
-            .with_config(AsConfig::builder().max_iterations(10).build());
+        let spec = WalkSpec::costas(18).with_config(AsConfig::builder().max_iterations(10).build());
         let runner = MpiRunner::new(spec, 3);
         let result = runner.run(1);
         assert!(!result.solved());

@@ -29,27 +29,52 @@ pub struct PlatformProfile {
 impl PlatformProfile {
     /// Hitachi HA8000 (University of Tokyo): AMD Opteron 2.3 GHz, up to 256 cores used.
     pub fn ha8000() -> Self {
-        Self { name: "HA8000", speed_factor: 1.0, startup_seconds: 0.0, max_cores: 256 }
+        Self {
+            name: "HA8000",
+            speed_factor: 1.0,
+            startup_seconds: 0.0,
+            max_cores: 256,
+        }
     }
 
     /// Grid'5000 Suno cluster (Sophia-Antipolis): Dell PowerEdge R410, 256 cores used.
     pub fn suno() -> Self {
-        Self { name: "Grid5000/Suno", speed_factor: 1.20, startup_seconds: 0.0, max_cores: 256 }
+        Self {
+            name: "Grid5000/Suno",
+            speed_factor: 1.20,
+            startup_seconds: 0.0,
+            max_cores: 256,
+        }
     }
 
     /// Grid'5000 Helios cluster (Sophia-Antipolis): Sun Fire X4100, 128 cores used.
     pub fn helios() -> Self {
-        Self { name: "Grid5000/Helios", speed_factor: 0.85, startup_seconds: 0.0, max_cores: 128 }
+        Self {
+            name: "Grid5000/Helios",
+            speed_factor: 0.85,
+            startup_seconds: 0.0,
+            max_cores: 128,
+        }
     }
 
     /// IBM Blue Gene/P JUGENE (Jülich): PowerPC 450 at 850 MHz, 8,192 cores used.
     pub fn jugene() -> Self {
-        Self { name: "JUGENE", speed_factor: 0.30, startup_seconds: 0.0, max_cores: 8192 }
+        Self {
+            name: "JUGENE",
+            speed_factor: 0.30,
+            startup_seconds: 0.0,
+            max_cores: 8192,
+        }
     }
 
     /// The local host, treated as the reference speed.
     pub fn local() -> Self {
-        Self { name: "local", speed_factor: 1.0, startup_seconds: 0.0, max_cores: 1 << 20 }
+        Self {
+            name: "local",
+            speed_factor: 1.0,
+            startup_seconds: 0.0,
+            max_cores: 1 << 20,
+        }
     }
 
     /// All paper platforms, in the order the tables present them.
@@ -64,7 +89,8 @@ impl PlatformProfile {
             reference_iterations_per_second > 0.0,
             "iteration rate must be positive"
         );
-        self.startup_seconds + iterations as f64 / (reference_iterations_per_second * self.speed_factor)
+        self.startup_seconds
+            + iterations as f64 / (reference_iterations_per_second * self.speed_factor)
     }
 }
 

@@ -10,9 +10,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use std::sync::Mutex;
+
 use adaptive_search::termination::FlagStop;
 use adaptive_search::{SolveResult, SolveStatus};
-use parking_lot::Mutex;
 
 use crate::walker::WalkSpec;
 
@@ -49,6 +50,9 @@ impl MultiWalkResult {
     }
 }
 
+/// The shared winner record: rank and solution of the first walk to finish.
+type WinnerCell = Arc<Mutex<Option<(usize, Vec<usize>)>>>;
+
 /// Runs `workers` independent walks on OS threads.
 #[derive(Debug, Clone)]
 pub struct ThreadRunner {
@@ -81,10 +85,9 @@ impl ThreadRunner {
     pub fn run(&self, master_seed: u64) -> MultiWalkResult {
         let start = Instant::now();
         let found = Arc::new(AtomicBool::new(false));
-        let winner: Arc<Mutex<Option<(usize, Vec<usize>)>>> = Arc::new(Mutex::new(None));
+        let winner: WinnerCell = Arc::new(Mutex::new(None));
 
-        let mut walk_results: Vec<Option<SolveResult>> =
-            (0..self.workers).map(|_| None).collect();
+        let mut walk_results: Vec<Option<SolveResult>> = (0..self.workers).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
@@ -99,7 +102,7 @@ impl ThreadRunner {
                         if result.status == SolveStatus::Solved {
                             // First writer wins; later solvers keep their result but
                             // do not overwrite the winner record.
-                            let mut guard = winner.lock();
+                            let mut guard = winner.lock().expect("winner mutex poisoned");
                             if guard.is_none() {
                                 *guard = Some((
                                     rank,
@@ -119,7 +122,7 @@ impl ThreadRunner {
         });
 
         let elapsed = start.elapsed();
-        let winner_record = winner.lock().clone();
+        let winner_record = winner.lock().expect("winner mutex poisoned").clone();
         MultiWalkResult {
             solution: winner_record.as_ref().map(|(_, sol)| sol.clone()),
             winner: winner_record.map(|(rank, _)| rank),
@@ -147,7 +150,10 @@ mod tests {
         assert_eq!(result.winner, Some(0));
         assert_eq!(result.walks, 1);
         assert!(is_costas_permutation(result.solution.as_ref().unwrap()));
-        assert_eq!(result.total_iterations(), result.walk_results[0].stats.iterations);
+        assert_eq!(
+            result.total_iterations(),
+            result.walk_results[0].stats.iterations
+        );
     }
 
     #[test]
@@ -164,7 +170,9 @@ mod tests {
                 assert!(
                     matches!(
                         r.status,
-                        SolveStatus::ExternallyStopped | SolveStatus::Solved | SolveStatus::IterationLimit
+                        SolveStatus::ExternallyStopped
+                            | SolveStatus::Solved
+                            | SolveStatus::IterationLimit
                     ),
                     "rank {rank}: {:?}",
                     r.status
@@ -177,13 +185,15 @@ mod tests {
     #[test]
     fn unsolvable_budget_reports_failure_for_all_walks() {
         // Give every walk a tiny iteration budget on a hard instance: nobody solves.
-        let spec = WalkSpec::costas(18)
-            .with_config(AsConfig::builder().max_iterations(20).build());
+        let spec = WalkSpec::costas(18).with_config(AsConfig::builder().max_iterations(20).build());
         let runner = ThreadRunner::new(spec, 3);
         let result = runner.run(1);
         assert!(!result.solved());
         assert_eq!(result.winner, None);
-        assert!(result.walk_results.iter().all(|r| r.status == SolveStatus::IterationLimit));
+        assert!(result
+            .walk_results
+            .iter()
+            .all(|r| r.status == SolveStatus::IterationLimit));
     }
 
     #[test]

@@ -70,13 +70,19 @@ impl VirtualCluster {
 
     /// Create a simulator for the given platform with the default reference rate.
     pub fn new(platform: PlatformProfile) -> Self {
-        Self { platform, reference_iterations_per_second: Self::DEFAULT_REFERENCE_RATE }
+        Self {
+            platform,
+            reference_iterations_per_second: Self::DEFAULT_REFERENCE_RATE,
+        }
     }
 
     /// Override the reference iteration rate (iterations/second of one reference-
     /// platform core), e.g. with a value obtained from [`VirtualCluster::calibrate`].
     pub fn with_reference_rate(mut self, iterations_per_second: f64) -> Self {
-        assert!(iterations_per_second > 0.0, "iteration rate must be positive");
+        assert!(
+            iterations_per_second > 0.0,
+            "iteration rate must be positive"
+        );
         self.reference_iterations_per_second = iterations_per_second;
         self
     }
@@ -151,8 +157,7 @@ impl VirtualCluster {
                             Some((_, best)) if best <= iters => {}
                             _ => {
                                 winner = Some((rank, iters));
-                                solution =
-                                    Some(engine.problem().configuration().to_vec());
+                                solution = Some(engine.problem().configuration().to_vec());
                             }
                         }
                         // The rest of this walk's block is not executed: it has
@@ -221,7 +226,10 @@ impl VirtualCluster {
         cores: usize,
         master_seed: u64,
     ) -> SimulatedRun {
-        assert!(!iteration_samples.is_empty(), "need at least one runtime sample");
+        assert!(
+            !iteration_samples.is_empty(),
+            "need at least one runtime sample"
+        );
         assert!(cores > 0, "a job needs at least one core");
         let mut rng = xrand::default_rng(master_seed);
         let check = check_interval.max(1);
@@ -316,8 +324,12 @@ mod tests {
 
     #[test]
     fn exact_run_respects_iteration_budget() {
-        let spec = WalkSpec::costas(18)
-            .with_config(AsConfig::builder().max_iterations(64).stop_check_interval(16).build());
+        let spec = WalkSpec::costas(18).with_config(
+            AsConfig::builder()
+                .max_iterations(64)
+                .stop_check_interval(16)
+                .build(),
+        );
         let run = cluster().run_exact(&spec, 2, 3);
         assert!(!run.solved());
         assert!(run.winner_iterations <= 64);

@@ -27,7 +27,10 @@ impl ShiftedExponential {
     /// # Panics
     /// Panics if `lambda <= 0` or the parameters are not finite.
     pub fn new(mu: f64, lambda: f64) -> Self {
-        assert!(mu.is_finite() && lambda.is_finite(), "parameters must be finite");
+        assert!(
+            mu.is_finite() && lambda.is_finite(),
+            "parameters must be finite"
+        );
         assert!(lambda > 0.0, "lambda must be positive");
         Self { mu, lambda }
     }
@@ -148,7 +151,11 @@ mod tests {
             .collect();
         let fit = fit_shifted_exponential(&sample).unwrap();
         assert!((fit.mu - true_mu).abs() < 0.1, "mu = {}", fit.mu);
-        assert!((fit.lambda - true_lambda).abs() < 2.0, "lambda = {}", fit.lambda);
+        assert!(
+            (fit.lambda - true_lambda).abs() < 2.0,
+            "lambda = {}",
+            fit.lambda
+        );
         // the fit should be close in KS distance
         let d = ks_distance(&sample, &fit);
         assert!(d < 0.02, "KS distance {d}");
@@ -161,7 +168,10 @@ mod tests {
         let sample: Vec<f64> = (0..5_000).map(|_| 10.0 + 5.0 * rng.f64()).collect();
         let fit = fit_shifted_exponential(&sample).unwrap();
         let d = ks_distance(&sample, &fit);
-        assert!(d > 0.1, "KS distance should be large for uniform data, got {d}");
+        assert!(
+            d > 0.1,
+            "KS distance should be large for uniform data, got {d}"
+        );
     }
 
     #[test]

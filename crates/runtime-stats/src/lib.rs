@@ -53,7 +53,11 @@ mod tests {
         let lambda = 120.0f64;
         let samples: Vec<f64> = (0..4000).map(|_| rng.exponential(1.0 / lambda)).collect();
         let fit = fit_shifted_exponential(&samples).unwrap();
-        assert!((fit.lambda - lambda).abs() < lambda * 0.1, "lambda = {}", fit.lambda);
+        assert!(
+            (fit.lambda - lambda).abs() < lambda * 0.1,
+            "lambda = {}",
+            fit.lambda
+        );
 
         // Observed mean of min-of-32 vs the order-statistics prediction.
         let mins: Vec<f64> = samples

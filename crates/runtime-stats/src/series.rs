@@ -18,7 +18,10 @@ pub struct Series {
 impl Series {
     /// Create a series.
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Self { name: name.into(), points }
+        Self {
+            name: name.into(),
+            points,
+        }
     }
 
     /// Apply `log2` to both coordinates (speed-up figures use log-log axes).
@@ -72,7 +75,10 @@ impl Series {
 pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 2 && height >= 2, "chart must be at least 2x2");
     const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "nothing to plot");
     let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -118,14 +124,20 @@ mod tests {
 
     #[test]
     fn slope_of_a_line_is_recovered() {
-        let s = Series::new("line", (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect());
+        let s = Series::new(
+            "line",
+            (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect(),
+        );
         assert!((s.slope().unwrap() - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn slope_degenerate_cases() {
         assert_eq!(Series::new("one", vec![(1.0, 1.0)]).slope(), None);
-        assert_eq!(Series::new("vert", vec![(1.0, 1.0), (1.0, 5.0)]).slope(), None);
+        assert_eq!(
+            Series::new("vert", vec![(1.0, 1.0), (1.0, 5.0)]).slope(),
+            None
+        );
     }
 
     #[test]

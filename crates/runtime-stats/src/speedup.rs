@@ -66,7 +66,10 @@ fn safe_ratio(reference: f64, value: f64) -> f64 {
 /// # Panics
 /// Panics if either core count is zero.
 pub fn predicted_speedup(dist: &ShiftedExponential, reference_cores: usize, cores: usize) -> f64 {
-    assert!(reference_cores > 0 && cores > 0, "core counts must be positive");
+    assert!(
+        reference_cores > 0 && cores > 0,
+        "core counts must be positive"
+    );
     dist.expected_min_of(reference_cores) / dist.expected_min_of(cores)
 }
 

@@ -30,7 +30,10 @@ impl BatchStats {
     /// Panics if `values` is empty or contains a NaN.
     pub fn from_values(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "cannot summarise an empty batch");
-        assert!(values.iter().all(|v| !v.is_nan()), "NaN observation in batch");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "NaN observation in batch"
+        );
         let count = values.len();
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
@@ -41,13 +44,20 @@ impl BatchStats {
             0.5 * (sorted[count / 2 - 1] + sorted[count / 2])
         };
         let stddev = if count > 1 {
-            let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / (count as f64 - 1.0);
+            let var =
+                sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count as f64 - 1.0);
             var.sqrt()
         } else {
             0.0
         };
-        Self { count, mean, median, min: sorted[0], max: sorted[count - 1], stddev }
+        Self {
+            count,
+            mean,
+            median,
+            min: sorted[0],
+            max: sorted[count - 1],
+            stddev,
+        }
     }
 
     /// Convenience constructor from integer observations (iteration counts).
@@ -77,7 +87,10 @@ impl BatchStats {
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile_of(values: &[f64], q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-        assert!(!values.is_empty(), "cannot take a quantile of an empty batch");
+        assert!(
+            !values.is_empty(),
+            "cannot take a quantile of an empty batch"
+        );
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         if sorted.len() == 1 {

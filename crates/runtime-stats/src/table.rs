@@ -28,7 +28,11 @@ impl TextTable {
         assert!(!headers.is_empty(), "a table needs at least one column");
         let mut aligns = vec![Align::Right; headers.len()];
         aligns[0] = Align::Left;
-        Self { headers, aligns, rows: Vec::new() }
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
     }
 
     /// Override column alignments.
@@ -108,7 +112,14 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(escape).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(escape)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(escape).collect::<Vec<_>>().join(","));

@@ -29,11 +29,19 @@ impl TimeToTarget {
     /// # Panics
     /// Panics if the sample is empty.
     pub fn from_sample(label: impl Into<String>, times: &[f64]) -> Self {
-        assert!(!times.is_empty(), "TTT curve needs at least one observation");
+        assert!(
+            !times.is_empty(),
+            "TTT curve needs at least one observation"
+        );
         let ecdf = Ecdf::new(times);
         let fit = fit_shifted_exponential(times);
         let ks = fit.as_ref().map(|f| ks_distance(times, f));
-        Self { label: label.into(), points: ecdf.plotting_points(), fit, ks }
+        Self {
+            label: label.into(),
+            points: ecdf.plotting_points(),
+            fit,
+            ks,
+        }
     }
 
     /// Empirical probability of having reached the target by time `t`.
@@ -52,7 +60,12 @@ impl TimeToTarget {
     /// empirical and fitted curves side by side: returns `(t, empirical, fitted)`.
     pub fn gridded(&self, points: usize) -> Vec<(f64, f64, f64)> {
         assert!(points >= 2, "need at least two grid points");
-        let max_t = self.points.last().map(|&(t, _)| t).unwrap_or(1.0).max(1e-12);
+        let max_t = self
+            .points
+            .last()
+            .map(|&(t, _)| t)
+            .unwrap_or(1.0)
+            .max(1e-12);
         (0..points)
             .map(|i| {
                 let t = max_t * i as f64 / (points - 1) as f64;

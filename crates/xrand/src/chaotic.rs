@@ -56,7 +56,12 @@ impl ChaoticSeeder {
         // p in roughly (0.2, 0.8) to stay away from the degenerate tent corners.
         let raw = crate::Rng64::next_u64(&mut sm);
         let p = (u64::MAX / 5) + raw % (u64::MAX / 5 * 3);
-        Self { master: master_seed, x, p, emitted: 0 }
+        Self {
+            master: master_seed,
+            x,
+            p,
+            emitted: 0,
+        }
     }
 
     fn clamp_unit(v: u64) -> u64 {
@@ -105,9 +110,9 @@ impl ChaoticSeeder {
     /// nearby ranks across the unit interval; the whitening removes any residual
     /// piecewise-linear structure.
     pub fn seed_for_rank(&self, rank: u64) -> u64 {
-        let mut x = Self::clamp_unit(
-            SplitMix64::mix(self.master ^ rank.wrapping_mul(GOLDEN_GAMMA)),
-        );
+        let mut x = Self::clamp_unit(SplitMix64::mix(
+            self.master ^ rank.wrapping_mul(GOLDEN_GAMMA),
+        ));
         let mut acc = 0u64;
         for i in 0..WARMUP_ITERATIONS {
             x = Self::tent_step(x, self.p);
@@ -170,7 +175,10 @@ mod tests {
             total += d as u64;
         }
         let mean = total as f64 / (seeds.len() - 1) as f64;
-        assert!(min_dist >= 10, "adjacent seeds too similar: {min_dist} bits");
+        assert!(
+            min_dist >= 10,
+            "adjacent seeds too similar: {min_dist} bits"
+        );
         assert!((mean - 32.0).abs() < 3.0, "mean hamming distance {mean}");
     }
 

@@ -64,12 +64,15 @@ mod tests {
         let s1 = lcg.next_raw();
         assert_eq!(
             s1,
-            42u64.wrapping_mul(MMIX_MULTIPLIER).wrapping_add(MMIX_INCREMENT)
+            42u64
+                .wrapping_mul(MMIX_MULTIPLIER)
+                .wrapping_add(MMIX_INCREMENT)
         );
         let s2 = lcg.next_raw();
         assert_eq!(
             s2,
-            s1.wrapping_mul(MMIX_MULTIPLIER).wrapping_add(MMIX_INCREMENT)
+            s1.wrapping_mul(MMIX_MULTIPLIER)
+                .wrapping_add(MMIX_INCREMENT)
         );
     }
 

@@ -23,7 +23,10 @@ pub struct SeedSequence {
 impl SeedSequence {
     /// Create the root of a seed tree.
     pub fn new(master_seed: u64) -> Self {
-        Self { key: SplitMix64::mix(master_seed ^ DOMAIN_TAG), depth: 0 }
+        Self {
+            key: SplitMix64::mix(master_seed ^ DOMAIN_TAG),
+            depth: 0,
+        }
     }
 
     /// Derive the `index`-th child of this node.
@@ -34,7 +37,10 @@ impl SeedSequence {
                 .wrapping_add(index.wrapping_mul(0xA24B_AED4_963E_E407))
                 ^ ((self.depth as u64) << 56),
         );
-        Self { key: mixed, depth: self.depth + 1 }
+        Self {
+            key: mixed,
+            depth: self.depth + 1,
+        }
     }
 
     /// The 64-bit seed represented by this node.
@@ -85,10 +91,7 @@ mod tests {
     #[test]
     fn path_order_matters() {
         let root = SeedSequence::new(7);
-        assert_ne!(
-            root.child(1).child(2).seed(),
-            root.child(2).child(1).seed()
-        );
+        assert_ne!(root.child(1).child(2).seed(), root.child(2).child(1).seed());
     }
 
     #[test]
@@ -117,7 +120,10 @@ mod tests {
         let node = SeedSequence::new(2).child(4);
         let mut r1 = node.rng();
         let mut r2 = node.rng();
-        assert_eq!(crate::Rng64::next_u64(&mut r1), crate::Rng64::next_u64(&mut r2));
+        assert_eq!(
+            crate::Rng64::next_u64(&mut r1),
+            crate::Rng64::next_u64(&mut r2)
+        );
         let seeder = node.chaotic_seeder();
         assert_eq!(seeder.master_seed(), node.seed());
     }

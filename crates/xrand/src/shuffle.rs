@@ -108,7 +108,7 @@ mod tests {
         }
         assert_eq!(counts.len(), 6);
         let expected = n as f64 / 6.0;
-        for (&ref p, &c) in &counts {
+        for (p, &c) in &counts {
             assert!(
                 (c as f64 - expected).abs() < expected * 0.1,
                 "permutation {p:?} count {c}"
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn choose_covers_all_elements_over_many_draws() {
         let mut rng = default_rng(7);
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for _ in 0..2_000 {
             for i in choose(20, 2, &mut rng) {
                 seen[i] = true;

@@ -102,7 +102,10 @@ mod tests {
         rng.next_u64();
         assert_eq!(rng.state(), 17u64.wrapping_add(GOLDEN_GAMMA));
         rng.next_u64();
-        assert_eq!(rng.state(), 17u64.wrapping_add(GOLDEN_GAMMA.wrapping_mul(2)));
+        assert_eq!(
+            rng.state(),
+            17u64.wrapping_add(GOLDEN_GAMMA.wrapping_mul(2))
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl Xoshiro256StarStar {
     /// # Panics
     /// Panics if all four words are zero (the all-zero state is a fixed point).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must not be all zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must not be all zero"
+        );
         Self { s }
     }
 

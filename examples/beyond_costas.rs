@@ -41,9 +41,19 @@ fn main() {
     let series = solve_and_report(AllIntervalProblem::new(12), "All-Interval (n=12)", 2);
     let mut diffs: Vec<usize> = series.windows(2).map(|w| w[0].abs_diff(w[1])).collect();
     diffs.sort_unstable();
-    assert_eq!(diffs, (1..=11).collect::<Vec<_>>(), "all intervals distinct");
+    assert_eq!(
+        diffs,
+        (1..=11).collect::<Vec<_>>(),
+        "all intervals distinct"
+    );
     println!("    series    : {series:?}");
-    println!("    intervals : {:?}", series.windows(2).map(|w| w[0].abs_diff(w[1])).collect::<Vec<_>>());
+    println!(
+        "    intervals : {:?}",
+        series
+            .windows(2)
+            .map(|w| w[0].abs_diff(w[1]))
+            .collect::<Vec<_>>()
+    );
 
     // Magic Square, 4 x 4: permutation of 1..=16 with all lines summing to 34.
     let square = solve_and_report(MagicSquareProblem::new(4), "Magic Square (4x4)", 3);

@@ -29,7 +29,10 @@ fn main() {
 
     // Sequential reference sample (also feeds the exponential fit).
     let sequential: Vec<SimulatedRun> = cluster.run_exact_many(&spec, 1, runs, seed);
-    let seq_iters: Vec<f64> = sequential.iter().map(|r| r.winner_iterations as f64).collect();
+    let seq_iters: Vec<f64> = sequential
+        .iter()
+        .map(|r| r.winner_iterations as f64)
+        .collect();
     let seq_stats = BatchStats::from_values(&seq_iters);
     println!(
         "sequential: mean {:.0} iterations, min {:.0}, max {:.0} (min is {:.1}x faster than mean)",

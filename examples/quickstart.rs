@@ -22,7 +22,10 @@ fn main() {
 
     // 1. Sequential Adaptive Search.
     let result = solve_costas(order, seed);
-    let solution = result.solution.clone().expect("sequential AS finds a solution");
+    let solution = result
+        .solution
+        .clone()
+        .expect("sequential AS finds a solution");
     println!("Adaptive Search (sequential)");
     println!("  solution   : {:?}", solution);
     println!("  iterations : {}", result.stats.iterations);
@@ -34,10 +37,16 @@ fn main() {
     // Show the difference triangle of the solution, as in §IV-A of the paper.
     let array = CostasArray::try_new(solution).expect("validated above");
     println!("\n  grid:\n{}", indent(&array.to_grid_string(), 4));
-    println!("  difference triangle:\n{}", indent(&DifferenceTriangle::new(array.values()).to_string(), 4));
+    println!(
+        "  difference triangle:\n{}",
+        indent(&DifferenceTriangle::new(array.values()).to_string(), 4)
+    );
 
     // 2. Independent multi-walk on real threads.
-    let walks = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).max(2);
+    let walks = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .max(2);
     let job = ThreadRunner::new(WalkSpec::costas(order), walks).run(seed);
     println!("Independent multi-walk ({walks} walks)");
     println!("  winner walk     : {:?}", job.winner);

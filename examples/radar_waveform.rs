@@ -88,7 +88,7 @@ fn main() {
     println!("  linear sweep      : worst sidelobe = {ladder_sidelobe} coincidence(s)");
     println!(
         "\nThe Costas schedule keeps every delayed/Doppler-shifted copy nearly orthogonal\n\
-         to the original ({}x lower worst-case ambiguity than the linear sweep)." ,
+         to the original ({}x lower worst-case ambiguity than the linear sweep).",
         ladder_sidelobe.max(1) / costas_sidelobe.max(1)
     );
 }

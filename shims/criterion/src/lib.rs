@@ -1,0 +1,238 @@
+//! Minimal, dependency-free stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate, for build environments with no crates.io access (see
+//! `shims/README.md`).
+//!
+//! It implements the subset of the criterion API this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with the same import paths,
+//! so benches written against the real crate compile unmodified.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark for
+//! `sample_size` timed batches (after one warm-up batch) and prints a one-line
+//! `mean / min / max` per-iteration summary. That is enough to compare variants
+//! locally; it makes no claims of statistical rigour and writes no reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring criterion's `black_box` (which is `std::hint::black_box`
+/// on recent toolchains).
+pub use std::hint::black_box;
+
+/// Iterations per timed batch (the shim's stand-in for criterion's auto-tuning).
+const ITERS_PER_SAMPLE: u64 = 1;
+
+/// Entry point handed to benchmark functions by [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 10, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `f`, passing it `input` (the criterion parametrised-bench form).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` under a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Close the group (no-op in the shim, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parametrised benchmark: `BenchmarkId::new("solve", n)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter value into an id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing harness passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one duration per batch. The closure's return value
+    /// is passed through [`black_box`] so the computation is not optimised away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up batch (not recorded).
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+        iters_per_sample: ITERS_PER_SAMPLE,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        eprintln!("  {label:<50} (no samples: closure never called iter)");
+        return;
+    }
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    eprintln!(
+        "  {label:<50} mean {} | min {} | max {} ({} samples)",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max),
+        per_iter.len()
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:8.3} s ")
+    } else if seconds >= 1e-3 {
+        format!("{:8.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:8.3} µs", seconds * 1e6)
+    } else {
+        format!("{:8.1} ns", seconds * 1e9)
+    }
+}
+
+/// Shim of `criterion_group!`: bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Shim of `criterion_main!`: the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        group.finish();
+    }
+
+    criterion_group!(smoke, trivial_bench);
+
+    #[test]
+    fn group_runner_executes_all_targets() {
+        smoke();
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("solve", 13).label, "solve/13");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+}

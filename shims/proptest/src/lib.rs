@@ -1,0 +1,462 @@
+//! Minimal, dependency-free stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, for build environments with no crates.io access (see `shims/README.md`).
+//!
+//! It implements the subset of the proptest API this workspace's test-suites use —
+//! the [`proptest!`] macro (including `#![proptest_config(..)]`), [`Strategy`] with
+//! `prop_map`, [`any`], range and tuple strategies, [`collection::vec`] and the
+//! `prop_assert*` macros — with the same import paths, so tests written against the
+//! real crate compile unmodified.
+//!
+//! Design differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the test name and case number;
+//!   generation is deterministic per test, so the failure reproduces exactly.
+//! * **CI-friendly case counts.** The default is 64 cases per property (real
+//!   proptest defaults to 256), overridable globally with the `PROPTEST_CASES`
+//!   environment variable or per-block with `#![proptest_config(..)]`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving all strategies (SplitMix64 core).
+///
+/// Seeded from the property's name so every test gets an independent, reproducible
+/// stream regardless of the order tests run in.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from an arbitrary byte string (the test name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 whitening.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(h)
+    }
+
+    /// Next 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased integer in `[0, bound)` (bound > 0), via rejection sampling.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construct the per-test generator. Used by the [`proptest!`] expansion; public so
+/// the macro can reach it from other crates.
+pub fn test_rng(test_name: &str) -> TestRng {
+    TestRng::from_name(test_name)
+}
+
+/// Runtime configuration for a `proptest!` block.
+///
+/// Only the fields this workspace uses are present; construct with struct-update
+/// syntax as with the real crate: `ProptestConfig { cases: 12, ..ProptestConfig::default() }`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Shrink-iteration budget. Accepted for source compatibility with the real
+    /// crate; the shim performs no shrinking, so this is never consulted.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    /// Default case count: the `PROPTEST_CASES` environment variable when set,
+    /// otherwise 64 (kept low so `cargo test -q` stays CI-friendly on the
+    /// stochastic solver tests).
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A generator of values of one type. The shim equivalent of proptest's `Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (as in real proptest).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy (shim of proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for the full value range of `T`, returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-range strategy for `T`: `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    // Full 64-bit span: every word is in range.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // Widen [0,1) slightly so the inclusive upper bound is reachable.
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies (shim of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length (shim of proptest's
+    /// `SizeRange`). Mirroring the real crate, only `usize`-based ranges convert
+    /// into it — which is what lets `vec(elem, 0..50)` infer `usize` for the
+    /// untyped literals.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// `vec(element, 0..50)`: a vector whose length is drawn from the given
+    /// range and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.hi_inclusive - self.len.lo + 1) as u64;
+            let n = self.len.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Shim of `prop_assert!`: like `assert!`, panicking on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Shim of `prop_assert_eq!`: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Shim of `prop_assert_ne!`: like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Shim of the `proptest!` macro.
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, seed in any::<u64>()) { ... }
+/// }
+/// ```
+///
+/// Each property becomes a `#[test]` that samples its strategies `config.cases`
+/// times from a deterministic per-test stream and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    let ($($pat,)+) = ($($crate::Strategy::sample(&($strat), &mut rng),)+);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::test_rng("ranges_sample_in_bounds");
+        for _ in 0..1000 {
+            let v = (3usize..10).sample(&mut rng);
+            assert!((3..10).contains(&v));
+            let w = (-5i64..=5).sample(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let f = (0.25f64..=0.75).sample(&mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strategy = (1usize..=4, any::<u64>()).prop_map(|(n, seed)| vec![seed; n]);
+        let mut rng = crate::test_rng("prop_map_and_tuples_compose");
+        for _ in 0..100 {
+            let v = strategy.sample(&mut rng);
+            assert!((1..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strategy = collection::vec(0usize..3, 2usize..5);
+        let mut rng = crate::test_rng("vec_strategy_respects_length_range");
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::test_rng("same-name");
+        let mut b = crate::test_rng("same-name");
+        let mut c = crate::test_rng("other-name");
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 17, ..ProptestConfig::default() })]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, v in collection::vec(any::<bool>(), 0usize..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

@@ -38,7 +38,10 @@ fn search_solutions_are_members_of_the_enumerated_set() {
         .into_iter()
         .map(|a| a.values().to_vec())
         .collect();
-    assert_eq!(all.len() as u64, costas_lab::costas::known_costas_count(9).unwrap());
+    assert_eq!(
+        all.len() as u64,
+        costas_lab::costas::known_costas_count(9).unwrap()
+    );
     for seed in 0..5u64 {
         let result = solve_costas(9, seed);
         let solution = result.solution.unwrap();
