@@ -30,6 +30,30 @@ pub enum StepOutcome {
     Continue,
 }
 
+/// Outcome of offering an elite configuration through [`Engine::inject_candidate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectOutcome {
+    /// The candidate was installed as the current configuration (its cost was
+    /// strictly below the caller's threshold).
+    Adopted {
+        /// Cost of the adopted configuration.
+        cost: u64,
+    },
+    /// The candidate was evaluated but not installed; the previous configuration is
+    /// unchanged.
+    Rejected {
+        /// Cost the candidate would have had.
+        cost: u64,
+    },
+}
+
+impl InjectOutcome {
+    /// Was the candidate adopted?
+    pub fn adopted(&self) -> bool {
+        matches!(self, InjectOutcome::Adopted { .. })
+    }
+}
+
 /// One Adaptive Search walk over one [`PermutationProblem`].
 pub struct Engine<P: PermutationProblem> {
     problem: P,
@@ -43,6 +67,9 @@ pub struct Engine<P: PermutationProblem> {
     /// Variables marked Tabu since the last reset — the quantity compared against the
     /// paper's `RL` parameter.
     marked_since_reset: usize,
+    /// A coordinated restart was requested externally; honoured at the next
+    /// [`Engine::step`] boundary so callers never observe a half-applied iteration.
+    restart_pending: bool,
     // scratch buffers reused across iterations to keep the inner loop allocation-free
     errors: Vec<u64>,
     ties: Vec<usize>,
@@ -71,6 +98,7 @@ impl<P: PermutationProblem> Engine<P> {
             best_config: Vec::new(),
             iterations_since_restart: 0,
             marked_since_reset: 0,
+            restart_pending: false,
             errors: Vec::with_capacity(n),
             ties: Vec::with_capacity(n),
         };
@@ -227,6 +255,20 @@ impl<P: PermutationProblem> Engine<P> {
         self.stats.iterations += 1;
         self.iterations_since_restart += 1;
 
+        // Coordinated restart requested by an external driver: like a policy restart,
+        // it consumes this iteration.
+        if self.restart_pending {
+            self.restart_pending = false;
+            self.stats.restarts += 1;
+            self.stats.coordinated_restarts += 1;
+            self.randomize_configuration();
+            return if self.problem.global_cost() == 0 {
+                StepOutcome::Solved
+            } else {
+                StepOutcome::Continue
+            };
+        }
+
         // Full restart when the policy says so.
         if let RestartPolicy::Every { iterations } = self.config.restart {
             if self.iterations_since_restart >= iterations {
@@ -350,6 +392,65 @@ impl<P: PermutationProblem> Engine<P> {
         self.stats.restarts += 1;
         self.randomize_configuration();
     }
+
+    /// Request a coordinated restart: the engine re-randomises at the *next*
+    /// [`Engine::step`] boundary instead of immediately.
+    ///
+    /// This is the restart hook of the cooperative multi-walk runtime: when the
+    /// exchange layer detects global stagnation it schedules a restart on every walk,
+    /// and each walk honours it at its own iteration boundary, which keeps the
+    /// deterministic substrates (virtual cluster) reproducible — the restart always
+    /// lands at the same point of the walk's random stream.
+    pub fn schedule_restart(&mut self) {
+        self.restart_pending = true;
+    }
+
+    /// Is a coordinated restart pending?
+    pub fn restart_pending(&self) -> bool {
+        self.restart_pending
+    }
+
+    /// Offer an elite configuration (warm start / cooperative injection).
+    ///
+    /// The candidate is evaluated and installed as the current configuration iff its
+    /// cost is **strictly below** `cost_threshold`; otherwise the engine's
+    /// configuration is left untouched.  Callers typically pass their current cost as
+    /// the threshold ("adopt only if it improves on where I am") or a stricter bound.
+    ///
+    /// Adoption behaves like a diversification jump: the Tabu memory and the `RL`
+    /// counter are cleared so the search engages the injected region unencumbered by
+    /// marks accumulated elsewhere, and a pending coordinated restart is cancelled
+    /// (the injection already moved the walk).  The engine's random stream is *not*
+    /// consumed, so rejected offers leave the walk byte-for-byte identical.
+    ///
+    /// # Panics
+    /// Panics if `candidate` is not a permutation of `1..=n`.
+    pub fn inject_candidate(&mut self, candidate: &[usize], cost_threshold: u64) -> InjectOutcome {
+        let n = self.problem.size();
+        assert_eq!(candidate.len(), n, "candidate must have length {n}");
+        let mut seen = vec![false; n];
+        for &v in candidate {
+            assert!(
+                (1..=n).contains(&v) && !std::mem::replace(&mut seen[v - 1], true),
+                "candidate must be a permutation of 1..={n}"
+            );
+        }
+        self.stats.injections_offered += 1;
+        let previous = self.problem.configuration().to_vec();
+        self.problem.set_configuration(candidate);
+        let cost = self.problem.global_cost();
+        if cost < cost_threshold {
+            self.stats.injections_adopted += 1;
+            self.tabu.clear();
+            self.marked_since_reset = 0;
+            self.restart_pending = false;
+            self.note_best();
+            InjectOutcome::Adopted { cost }
+        } else {
+            self.problem.set_configuration(&previous);
+            InjectOutcome::Rejected { cost }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +573,83 @@ mod tests {
             ..AsConfig::default()
         };
         let _ = Engine::new(CostasProblem::new(5), cfg, 0);
+    }
+
+    #[test]
+    fn inject_candidate_adopts_below_threshold_and_rejects_otherwise() {
+        let mut e = small_engine(13, 4);
+        // A solution of CAP 13, found by a second engine: cost 0, adopted under any
+        // positive threshold.
+        let solution = {
+            let mut solver = small_engine(13, 77);
+            solver.solve().solution.expect("order 13 solves")
+        };
+        let current = e.problem().configuration().to_vec();
+        // Rejected when the threshold is 0 (nothing is < 0) …
+        let out = e.inject_candidate(&solution, 0);
+        assert_eq!(out, InjectOutcome::Rejected { cost: 0 });
+        assert_eq!(
+            e.problem().configuration(),
+            &current[..],
+            "rejection leaves the configuration untouched"
+        );
+        // … adopted under a permissive threshold.
+        let out = e.inject_candidate(&solution, 1);
+        assert!(out.adopted());
+        assert_eq!(e.current_cost(), 0);
+        assert_eq!(e.step(), StepOutcome::Solved);
+        assert_eq!(e.stats().injections_offered, 2);
+        assert_eq!(e.stats().injections_adopted, 1);
+    }
+
+    #[test]
+    fn rejected_injection_preserves_the_random_stream() {
+        // Two identical engines; one receives a rejected offer. Their subsequent
+        // trajectories must match exactly.
+        let mut a = small_engine(12, 31);
+        let mut b = small_engine(12, 31);
+        let elite: Vec<usize> = b.problem().configuration().to_vec();
+        assert!(!a.inject_candidate(&elite, 0).adopted());
+        let ra = a.solve();
+        let rb = b.solve();
+        assert_eq!(ra.solution, rb.solution);
+        assert_eq!(ra.stats.iterations, rb.stats.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn inject_candidate_rejects_non_permutations() {
+        let mut e = small_engine(6, 1);
+        let _ = e.inject_candidate(&[1, 1, 2, 3, 4, 5], u64::MAX);
+    }
+
+    #[test]
+    fn scheduled_restart_fires_at_the_next_step_boundary() {
+        let config = AsConfig::builder().max_iterations(10_000).build();
+        let mut e = Engine::new(CostasProblem::new(18), config, 9);
+        assert!(!e.restart_pending());
+        e.schedule_restart();
+        assert!(e.restart_pending());
+        let before = e.problem().configuration().to_vec();
+        let _ = e.step();
+        assert!(!e.restart_pending());
+        assert_eq!(e.stats().restarts, 1);
+        assert_eq!(e.stats().coordinated_restarts, 1);
+        // With overwhelming probability the restart changed the configuration.
+        assert_ne!(e.problem().configuration(), &before[..]);
+    }
+
+    #[test]
+    fn adoption_cancels_a_pending_restart() {
+        let mut e = small_engine(12, 2);
+        let elite = {
+            let mut solver = small_engine(12, 55);
+            solver.solve().solution.expect("order 12 solves")
+        };
+        e.schedule_restart();
+        assert!(e.inject_candidate(&elite, u64::MAX).adopted());
+        assert!(!e.restart_pending());
+        assert_eq!(e.stats().coordinated_restarts, 0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod termination;
 
 pub use config::{AsConfig, AsConfigBuilder, ResetPolicy, RestartPolicy};
 pub use costas_model::{CostasModelConfig, CostasProblem};
-pub use engine::{Engine, StepOutcome};
+pub use engine::{Engine, InjectOutcome, StepOutcome};
 pub use multi_restart::{solve_costas, solve_with_restarts, SequentialDriver};
 pub use problem::PermutationProblem;
 pub use stats::{SearchStats, SolveResult, SolveStatus};

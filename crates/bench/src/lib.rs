@@ -10,7 +10,9 @@
 //!   `COSTAS_RUNS=<k>` overrides the repetition count, `COSTAS_SEED=<s>` the master
 //!   seed.
 //! * **Output** — each harness prints the paper-shaped table to stdout and writes a
-//!   CSV with the same rows under `target/experiments/` for plotting.
+//!   CSV with the same rows under `target/experiments/` for plotting.  Harnesses
+//!   that feed the perf trajectory additionally emit a `BENCH_*.json` artefact
+//!   (destination overridable with `COSTAS_BENCH_JSON`; CI uploads it).
 
 use std::path::{Path, PathBuf};
 
@@ -91,6 +93,19 @@ pub fn write_csv(name: &str, contents: &str) -> PathBuf {
     path
 }
 
+/// Write a machine-readable benchmark artefact (`BENCH_*.json`).
+///
+/// The destination is `COSTAS_BENCH_JSON` when set (CI points it at
+/// `BENCH_ci.json` so `actions/upload-artifact` accumulates the perf trajectory),
+/// otherwise `default_name` in the current directory.  Returns the path written.
+pub fn write_bench_json(default_name: &str, doc: &runtime_stats::Json) -> PathBuf {
+    let path = std::env::var("COSTAS_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(default_name));
+    std::fs::write(&path, doc.render()).expect("write benchmark JSON");
+    path
+}
+
 /// Print a standard harness header so every binary's output is self-describing.
 pub fn banner(experiment: &str, description: &str, options: &HarnessOptions) {
     println!("================================================================");
@@ -136,6 +151,17 @@ mod tests {
         assert!(path.exists());
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("a,b"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_json_is_written_to_the_default_path() {
+        // Write into target/ so a test run never litters the repo root.
+        let doc = runtime_stats::Json::object(vec![("ok", true)]);
+        let name = "target/unit_test_bench.json";
+        let path = write_bench_json(name, &doc);
+        assert_eq!(path, std::path::PathBuf::from(name));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), r#"{"ok":true}"#);
         std::fs::remove_file(path).ok();
     }
 }

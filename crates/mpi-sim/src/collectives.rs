@@ -2,8 +2,12 @@
 //!
 //! The core collectives (`barrier`, `broadcast`, `all_reduce`) live on
 //! [`crate::Communicator`]; this module adds the gather/scatter-style helpers the
-//! benchmark drivers use to collect per-rank measurements, plus a tiny "first
-//! responder wins" primitive that encapsulates the paper's termination protocol.
+//! benchmark drivers use to collect per-rank measurements, the free-function
+//! [`broadcast`] / [`allreduce_min`] collectives the *cooperative* multi-walk runtime
+//! exchanges elite solutions with (they run on their own reserved tags so a
+//! termination announcement can never be confused with an exchange round), plus a
+//! tiny "first responder wins" primitive that encapsulates the paper's termination
+//! protocol.
 
 use crate::comm::Communicator;
 use crate::error::CommError;
@@ -13,6 +17,10 @@ use crate::message::{Tag, ANY_SOURCE};
 const GATHER_TAG: Tag = Tag::MAX - 2;
 /// Tag reserved by [`FirstResponder`].
 const WINNER_TAG: Tag = Tag::MAX - 3;
+/// Tag reserved by [`broadcast`].
+const BCAST_TAG: Tag = Tag::MAX - 4;
+/// Tag reserved by [`allreduce_min`].
+const REDUCE_TAG: Tag = Tag::MAX - 5;
 
 /// Gather every rank's value at rank 0 (returns `Some(values-in-rank-order)` on rank 0
 /// and `None` elsewhere).
@@ -58,6 +66,74 @@ pub fn scatter_from_root<T: Send>(
     }
 }
 
+/// Broadcast from `root`: the root's `value` is returned on every rank.
+///
+/// Unlike [`Communicator::broadcast`] this free function runs on its own reserved
+/// tag, so it can be interleaved with the other collectives of this module (the
+/// cooperative runtime broadcasts a restart epoch while `WINNER_TAG` announcements
+/// may be in flight).  Every rank must call it; non-root ranks pass `None`.
+///
+/// # Panics
+/// Panics if the root rank passes `None`.
+pub fn broadcast<T: Send + Clone>(
+    comm: &mut Communicator<T>,
+    root: usize,
+    value: Option<T>,
+) -> Result<T, CommError> {
+    if root >= comm.size() {
+        return Err(CommError::InvalidRank {
+            rank: root,
+            world_size: comm.size(),
+        });
+    }
+    if comm.rank() == root {
+        let v = value.expect("the broadcast root must supply a value");
+        for dest in 0..comm.size() {
+            if dest != root {
+                comm.send(dest, BCAST_TAG, v.clone())?;
+            }
+        }
+        Ok(v)
+    } else {
+        Ok(comm.recv_matching(root, BCAST_TAG)?.payload)
+    }
+}
+
+/// All-reduce with the `min` operator: every rank contributes `value`; every rank
+/// receives the minimum contribution (by `Ord`).
+///
+/// Ties are broken deterministically: contributions are compared in **rank order**,
+/// and an equal later contribution never displaces an earlier one.  Callers that
+/// need a rank-aware tie-break (e.g. "lowest rank with the best cost wins") encode it
+/// in the payload — a `(cost, rank, payload)` tuple compares lexicographically and
+/// makes the convention explicit.
+pub fn allreduce_min<T: Send + Clone + Ord>(
+    comm: &mut Communicator<T>,
+    value: T,
+) -> Result<T, CommError> {
+    const ROOT: usize = 0;
+    if comm.rank() == ROOT {
+        let mut slots: Vec<Option<T>> = (0..comm.size()).map(|_| None).collect();
+        slots[0] = Some(value);
+        for _ in 1..comm.size() {
+            let env = comm.recv_matching(ANY_SOURCE, REDUCE_TAG)?;
+            slots[env.source] = Some(env.payload);
+        }
+        let min = slots
+            .into_iter()
+            .map(|s| s.expect("every rank contributed"))
+            .min()
+            .expect("world has at least one rank");
+        for dest in 1..comm.size() {
+            comm.send(dest, REDUCE_TAG, min.clone())?;
+        }
+        Ok(min)
+    } else {
+        comm.send(ROOT, REDUCE_TAG, value)?;
+        Ok(comm.recv_matching(ROOT, REDUCE_TAG)?.payload)
+    }
+}
+
 /// The paper's termination protocol, reified: the first rank to call
 /// [`FirstResponder::announce`] becomes the winner; every other rank detects it with
 /// the non-blocking [`FirstResponder::check`].
@@ -71,15 +147,29 @@ impl FirstResponder {
 
     /// Non-blocking check: has some other rank announced a solution?  Returns the
     /// winning rank and its payload if so.
+    ///
+    /// **Tie-break:** all announcements currently delivered are drained and the one
+    /// from the **lowest rank** wins; later-ranked duplicates are discarded.  Taking
+    /// the oldest message instead would make the winner depend on channel arrival
+    /// order, which is scheduler-dependent across threads — under the virtual clock,
+    /// where several ranks can announce within the same exchange round, the
+    /// lowest-rank rule makes winner selection a pure function of the master seed.
     pub fn check<T: Send>(comm: &mut Communicator<T>) -> Option<(usize, T)> {
-        comm.try_recv_matching(ANY_SOURCE, WINNER_TAG)
-            .map(|env| (env.source, env.payload))
+        let mut winner: Option<(usize, T)> = None;
+        while let Some(env) = comm.try_recv_matching(ANY_SOURCE, WINNER_TAG) {
+            match &winner {
+                Some((rank, _)) if *rank <= env.source => {}
+                _ => winner = Some((env.source, env.payload)),
+            }
+        }
+        winner
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::Universe;
     use crate::process::run_world;
 
     #[test]
@@ -131,5 +221,125 @@ mod tests {
     fn gather_single_rank_world() {
         let results = run_world::<u8, _, _>(1, |comm| gather_to_root(comm, 9).unwrap());
         assert_eq!(results[0], Some(vec![9]));
+    }
+
+    #[test]
+    fn broadcast_reaches_every_rank() {
+        let results = run_world::<Vec<u32>, _, _>(5, |comm| {
+            let value = if comm.rank() == 2 {
+                Some(vec![1, 2, 3])
+            } else {
+                None
+            };
+            broadcast(comm, 2, value).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn broadcast_single_rank_world_returns_the_root_value() {
+        let results = run_world::<u64, _, _>(1, |comm| broadcast(comm, 0, Some(41)).unwrap());
+        assert_eq!(results, vec![41]);
+    }
+
+    #[test]
+    fn broadcast_invalid_root_is_reported() {
+        let results = run_world::<u8, _, _>(2, |comm| broadcast(comm, 9, Some(1)));
+        for r in results {
+            assert_eq!(
+                r,
+                Err(CommError::InvalidRank {
+                    rank: 9,
+                    world_size: 2
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn allreduce_min_returns_the_global_minimum_everywhere() {
+        let results = run_world::<u64, _, _>(6, |comm| {
+            // rank r contributes 100 - 10r: rank 5 holds the minimum (50)
+            allreduce_min(comm, 100 - 10 * comm.rank() as u64).unwrap()
+        });
+        assert_eq!(results, vec![50; 6]);
+    }
+
+    #[test]
+    fn allreduce_min_single_rank_world_is_the_identity() {
+        let results = run_world::<u64, _, _>(1, |comm| allreduce_min(comm, 123).unwrap());
+        assert_eq!(results, vec![123]);
+    }
+
+    #[test]
+    fn allreduce_min_tie_break_is_by_rank_order_in_the_payload() {
+        // Every rank contributes the same cost; the (cost, rank) encoding makes the
+        // lowest rank win deterministically.
+        let results = run_world::<(u64, usize), _, _>(4, |comm| {
+            allreduce_min(comm, (7, comm.rank())).unwrap()
+        });
+        assert_eq!(results, vec![(7, 0); 4]);
+    }
+
+    #[test]
+    fn allreduce_min_rounds_do_not_disturb_pending_point_to_point_traffic() {
+        // A user-level message sent before a reduce round must still be deliverable
+        // afterwards, in order: collectives run on reserved tags.
+        let results = run_world::<(u64, usize), _, _>(3, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            comm.send(next, 1, (99, comm.rank())).unwrap();
+            let min = allreduce_min(comm, (comm.rank() as u64, comm.rank())).unwrap();
+            let env = comm.recv_matching(ANY_SOURCE, 1).unwrap();
+            (min, env.payload)
+        });
+        for (rank, (min, p2p)) in results.into_iter().enumerate() {
+            assert_eq!(min, (0, 0));
+            assert_eq!(p2p.0, 99);
+            assert_eq!(p2p.1, (rank + 2) % 3, "rank {rank} hears its predecessor");
+        }
+    }
+
+    #[test]
+    fn consecutive_collective_rounds_keep_payload_ordering() {
+        // Two reduce rounds + a broadcast back-to-back: round k must fold round k's
+        // contributions only, even though all messages share the reserved tags.
+        let results = run_world::<u64, _, _>(4, |comm| {
+            let r1 = allreduce_min(comm, 10 + comm.rank() as u64).unwrap();
+            let r2 = allreduce_min(comm, 20 + comm.rank() as u64).unwrap();
+            let b = broadcast(
+                comm,
+                1,
+                if comm.rank() == 1 {
+                    Some(r1 + r2)
+                } else {
+                    None
+                },
+            )
+            .unwrap();
+            (r1, r2, b)
+        });
+        for r in results {
+            assert_eq!(r, (10, 20, 30));
+        }
+    }
+
+    #[test]
+    fn first_responder_tie_break_prefers_the_lowest_rank() {
+        // Drive a 3-rank world on one thread so both announcements are delivered
+        // before the check — the virtual-clock scenario where two ranks "solve" in
+        // the same exchange round.  Rank 2 announces *first*, then rank 1; the check
+        // must still report rank 1.
+        let mut world = Universe::world::<u8>(3);
+        let (first, rest) = world.split_at_mut(1);
+        let checker = &mut first[0];
+        FirstResponder::announce(&rest[1], 22).unwrap(); // rank 2
+        FirstResponder::announce(&rest[0], 11).unwrap(); // rank 1
+        let (winner, payload) = FirstResponder::check(checker).expect("announcements pending");
+        assert_eq!(winner, 1);
+        assert_eq!(payload, 11);
+        // Every queued announcement was consumed by the drain.
+        assert!(FirstResponder::check(checker).is_none());
     }
 }

@@ -18,6 +18,11 @@
 //!   [`Communicator::all_reduce`].
 //! * [`run_world`] — the `mpirun` analogue: spawn one thread per rank, run a closure
 //!   on each, and collect every rank's result.
+//! * [`collectives`] — gather/scatter helpers, the free-function
+//!   [`collectives::broadcast`] / [`collectives::allreduce_min`] collectives the
+//!   cooperative multi-walk runtime shares elite solutions with, and the
+//!   [`collectives::FirstResponder`] termination protocol with a deterministic
+//!   lowest-rank tie-break.
 //!
 //! The message payload type is generic (`T: Send`); envelopes carry the source rank
 //! and an integer tag, mirroring `MPI_Status` fields.

@@ -203,6 +203,35 @@ mod tests {
     }
 
     #[test]
+    fn winner_on_a_poll_boundary_reports_solved_not_stopped() {
+        // Regression test for the termination race at a poll boundary: with
+        // `stop_check_interval = 1` every iteration is a poll boundary, so the
+        // winning walk necessarily finishes *exactly* on one while the shared flag
+        // may already be raised by a concurrent solver.  The engine checks the step
+        // outcome before polling, so a walk that solves on the boundary must report
+        // `Solved` — never `ExternallyStopped` — and its solution must be recorded.
+        let spec =
+            WalkSpec::costas(10).with_config(AsConfig::builder().stop_check_interval(1).build());
+        for master_seed in 0..8u64 {
+            let runner = ThreadRunner::new(spec.clone(), 4);
+            let result = runner.run(master_seed);
+            assert!(result.solved(), "seed {master_seed}");
+            let winner = result.winner.unwrap();
+            assert_eq!(
+                result.walk_results[winner].status,
+                SolveStatus::Solved,
+                "seed {master_seed}: a winner stopped at the poll boundary"
+            );
+            assert!(is_costas_permutation(result.solution.as_ref().unwrap()));
+            // The recorded solution is the winner's, not a later solver's.
+            assert_eq!(
+                result.solution, result.walk_results[winner].solution,
+                "seed {master_seed}"
+            );
+        }
+    }
+
+    #[test]
     fn reproducible_given_same_master_seed_and_single_walk() {
         let runner = ThreadRunner::new(WalkSpec::costas(10), 1);
         let a = runner.run(33);

@@ -1,0 +1,216 @@
+//! Minimal JSON emission for benchmark artefacts.
+//!
+//! The benchmark harnesses emit machine-readable result files (`BENCH_*.json`) that
+//! CI uploads as artifacts, so the performance trajectory of the repository
+//! accumulates over time.  Like the [`crate::table`] renderer this is deliberately
+//! dependency-free: the harnesses only ever *write* JSON, and only the small subset
+//! below (objects, arrays, strings, integers, finite floats, booleans, null).
+//!
+//! Numbers are emitted with enough precision to round-trip `f64` (`{:?}` formatting)
+//! and non-finite floats are emitted as `null` — JSON has no representation for
+//! them, and a partially-written artefact must never be invalid.
+
+use std::collections::BTreeMap;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (emitted without a decimal point).
+    Int(i64),
+    /// Unsigned integer (iteration counts exceed `i64` in principle).
+    UInt(u64),
+    /// Finite float; non-finite values are emitted as `null`.
+    Float(f64),
+    /// String (escaped on emission).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object; a `BTreeMap` so key order — and therefore the artefact byte stream —
+    /// is deterministic.
+    Object(BTreeMap<String, Json>),
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(values: Vec<T>) -> Self {
+        Json::Array(values.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>, V: Into<Json>>(pairs: Vec<(K, V)>) -> Self {
+        Json::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Serialise without insignificant whitespace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(values) => {
+                out.push('[');
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(42u64).render(), "42");
+        assert_eq!(Json::from(-7i64).render(), "-7");
+        assert_eq!(Json::from(1.5).render(), "1.5");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_becomes_null() {
+        assert_eq!(Json::from(0.1).render(), "0.1");
+        let third: f64 = 1.0 / 3.0;
+        assert_eq!(Json::from(third).render().parse::<f64>().unwrap(), third);
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd").render(),
+            "\"a\\\"b\\\\c\\nd\"".to_string()
+        );
+        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_compose_deterministically() {
+        let v = Json::object(vec![
+            ("b", Json::from(vec![1u64, 2, 3])),
+            ("a", Json::from("x")),
+        ]);
+        // BTreeMap ordering: "a" before "b" regardless of insertion order.
+        assert_eq!(v.render(), r#"{"a":"x","b":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn nested_benchmark_shape_renders() {
+        let cell = Json::object(vec![
+            ("cores", Json::from(16usize)),
+            ("speedup", Json::from(1.25)),
+            ("solved", Json::from(true)),
+        ]);
+        let doc = Json::object(vec![
+            ("schema", Json::from("bench/v1")),
+            ("cells", Json::Array(vec![cell])),
+        ]);
+        let s = doc.render();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains(r#""cells":[{"cores":16,"#));
+    }
+}

@@ -20,11 +20,14 @@
 //!   `E[min of K] = µ + λ/K`, Figures 2–3.
 //! * [`table`] — plain-text table/CSV rendering so each harness prints rows shaped
 //!   like the paper's tables.
+//! * [`json`] — a minimal JSON emitter for the machine-readable `BENCH_*.json`
+//!   artefacts CI accumulates (deterministic key order, no dependencies).
 //! * [`series`] — (x, y) series with log₂/log₁₀ helpers and a minimal ASCII chart for
 //!   terminal-friendly figure output.
 
 pub mod ecdf;
 pub mod expfit;
+pub mod json;
 pub mod series;
 pub mod speedup;
 pub mod summary;
@@ -33,6 +36,7 @@ pub mod ttt;
 
 pub use ecdf::Ecdf;
 pub use expfit::{fit_shifted_exponential, ShiftedExponential};
+pub use json::Json;
 pub use series::Series;
 pub use speedup::{observed_speedups, predicted_speedup, SpeedupPoint};
 pub use summary::BatchStats;

@@ -11,7 +11,7 @@
 //! |---|---|---|
 //! | [`costas`] | `costas` | Costas-array domain: difference triangle, validity, symmetry, Welch/Golomb constructions, enumeration, incremental conflict table |
 //! | [`adaptive_search`] | `adaptive-search` | The Adaptive Search metaheuristic, the CAP model (§IV), and the N-Queens / All-Interval / Magic-Square models |
-//! | [`multiwalk`] | `multiwalk` | Independent multi-walk runners (threads, message passing) and the virtual cluster simulator (§V) |
+//! | [`multiwalk`] | `multiwalk` | Independent + cooperative multi-walk runners (threads, message passing) and the virtual cluster simulator (§V) |
 //! | [`mpi_sim`] | `mpi-sim` | MPI-shaped in-process message passing (ranks, iprobe, collectives) |
 //! | [`runtime_stats`] | `runtime-stats` | Time-to-target plots, shifted-exponential fits, speed-up models, table rendering |
 //! | [`baselines`] | `baselines` | Dialectic Search, quadratic tabu search, random-restart hill climbing, complete backtracking |
@@ -31,6 +31,12 @@
 //! // Or run an independent multi-walk job across 4 walks (first solution wins).
 //! let job = ThreadRunner::new(WalkSpec::costas(12), 4).run(42);
 //! assert!(job.solved());
+//!
+//! // Or let the walks cooperate (elite exchange + coordinated restarts) on the
+//! // deterministic virtual cluster: same seed, same winning iteration count.
+//! let cluster = VirtualCluster::new(PlatformProfile::local());
+//! let coop = CooperativeRunner::new(WalkSpec::costas(12), 4).run_virtual(&cluster, 42);
+//! assert!(coop.solved());
 //! ```
 
 pub use adaptive_search;
@@ -52,8 +58,8 @@ pub mod prelude {
         DifferenceTriangle, Permutation,
     };
     pub use multiwalk::{
-        MpiRunner, MultiWalkResult, PlatformProfile, SimulatedRun, ThreadRunner, VirtualCluster,
-        WalkSpec,
+        CoopConfig, CoopResult, CooperativeRunner, MpiRunner, MultiWalkResult, PlatformProfile,
+        SimulatedRun, ThreadRunner, VirtualCluster, WalkSpec,
     };
     pub use runtime_stats::{BatchStats, Series, ShiftedExponential, TimeToTarget};
     pub use xrand::{default_rng, ChaoticSeeder, RandExt, SeedSequence};
