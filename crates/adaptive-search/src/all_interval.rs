@@ -11,6 +11,8 @@
 //! Cost model: the number of *missing* distinct adjacent differences, i.e.
 //! `(n − 1) − |{ |v[i+1] − v[i]| }|`; equivalently the count of repeated differences.
 
+use costas::BucketMerge;
+
 use crate::problem::PermutationProblem;
 
 /// All-Interval Series with an incremental histogram of adjacent differences.
@@ -75,20 +77,38 @@ impl AllIntervalProblem {
         self.diff_count[d] += 1;
     }
 
-    /// Edges (left indices of adjacent pairs) affected by changing positions i and j.
-    fn affected_edges(&self, i: usize, j: usize) -> Vec<usize> {
-        let mut edges = Vec::with_capacity(4);
+    /// Edges (left indices of adjacent pairs) affected by changing positions i and
+    /// j: at most 4 distinct, returned in a fixed-size buffer so neither the probe
+    /// nor the apply path allocates.
+    fn affected_edges(&self, i: usize, j: usize) -> ([usize; 4], usize) {
+        let mut edges = [0usize; 4];
+        let mut len = 0usize;
         for &p in &[i, j] {
-            if p > 0 {
-                edges.push(p - 1);
-            }
-            if p + 1 < self.n() {
-                edges.push(p);
+            for e in [p.checked_sub(1), (p + 1 < self.n()).then_some(p)]
+                .into_iter()
+                .flatten()
+            {
+                if !edges[..len].contains(&e) {
+                    edges[len] = e;
+                    len += 1;
+                }
             }
         }
-        edges.sort_unstable();
-        edges.dedup();
-        edges
+        (edges, len)
+    }
+
+    /// Value at position `p` once positions `i` and `j` are swapped, without
+    /// performing the swap.
+    #[inline]
+    fn value_after_swap(&self, p: usize, i: usize, j: usize) -> usize {
+        let q = if p == i {
+            j
+        } else if p == j {
+            i
+        } else {
+            p
+        };
+        self.values[q]
     }
 
     /// Reference O(n) cost used by tests.
@@ -141,26 +161,129 @@ impl PermutationProblem for AllIntervalProblem {
         }
     }
 
-    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
+    /// O(1): a swap only changes the ≤ 4 adjacent differences whose edges touch
+    /// `i` or `j`; their old/new difference classes are merged per class and scored
+    /// against the histogram without touching it.
+    fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
         if i == j {
-            return self.cost;
+            return 0;
         }
-        self.apply_swap(i, j);
-        let c = self.cost;
-        self.apply_swap(i, j);
-        c
+        let (edges, edge_count) = self.affected_edges(i, j);
+        let mut touched = BucketMerge::<8>::new();
+        for &e in &edges[..edge_count] {
+            let old = self.values[e].abs_diff(self.values[e + 1]);
+            let new = self
+                .value_after_swap(e, i, j)
+                .abs_diff(self.value_after_swap(e + 1, i, j));
+            if old != new {
+                touched.push(old, -1);
+                touched.push(new, 1);
+            }
+        }
+        let mut delta = 0i64;
+        for (idx, net) in touched.nets() {
+            let c = i64::from(self.diff_count[idx]);
+            delta += (c + net - 1).max(0) - (c - 1).max(0);
+        }
+        delta
+    }
+
+    /// O(1) per candidate.  The culprit's (at most two) adjacent differences vanish
+    /// whatever the partner is, so their removal is scored once up front; the
+    /// per-candidate pass merges the re-added culprit differences with the
+    /// candidate's own edge changes against that baseline.
+    fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
+        let n = self.n();
+        out.clear();
+        out.resize(n, self.cost);
+        if n < 2 {
+            return;
+        }
+        let m = culprit;
+        let vm = self.values[m];
+        // Hoisted removal pass over the culprit's edges (m − 1, m) and (m, m + 1):
+        // merged difference classes, their counts after removal, and the cost
+        // change of the removals alone.
+        let left_other = (m > 0).then(|| self.values[m - 1]);
+        let right_other = (m + 1 < n).then(|| self.values[m + 1]);
+        let mut removed = BucketMerge::<2>::new();
+        for d in [
+            left_other.map(|v| v.abs_diff(vm)),
+            right_other.map(|v| v.abs_diff(vm)),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            removed.push(d, 1);
+        }
+        let mut removal_delta = 0i64;
+        for slot in removed.entries_mut() {
+            let c = i64::from(self.diff_count[slot.0]);
+            removal_delta += (c - slot.1 - 1).max(0) - (c - 1).max(0);
+            slot.1 = c - slot.1; // count after removal = per-class baseline
+        }
+        for (j, out_slot) in out.iter_mut().enumerate() {
+            if j == m {
+                continue;
+            }
+            let vj = self.values[j];
+            // ≤ 2 culprit re-additions + ≤ 2 candidate edges × 2 entries.
+            let mut touched = BucketMerge::<6>::new();
+            // Culprit edges now pair the neighbour with v_j — unless the candidate
+            // *is* that neighbour, in which case the neighbour holds v_m.
+            if let Some(lo) = left_other {
+                let lo = if m - 1 == j { vm } else { lo };
+                touched.push(lo.abs_diff(vj), 1);
+            }
+            if let Some(ro) = right_other {
+                let ro = if m + 1 == j { vm } else { ro };
+                touched.push(ro.abs_diff(vj), 1);
+            }
+            // Candidate edges that do not touch the culprit (those are the culprit
+            // edges handled above).
+            if j > 0 && j - 1 != m {
+                let o = self.values[j - 1];
+                let (old, new) = (o.abs_diff(vj), o.abs_diff(vm));
+                if old != new {
+                    touched.push(old, -1);
+                    touched.push(new, 1);
+                }
+            }
+            if j + 1 < n && j + 1 != m {
+                let o = self.values[j + 1];
+                let (old, new) = (o.abs_diff(vj), o.abs_diff(vm));
+                if old != new {
+                    touched.push(old, -1);
+                    touched.push(new, 1);
+                }
+            }
+            let mut delta = removal_delta;
+            for (idx, net) in touched.nets() {
+                let b = removed
+                    .get(idx)
+                    .unwrap_or_else(|| i64::from(self.diff_count[idx]));
+                delta += (b + net - 1).max(0) - (b - 1).max(0);
+            }
+            *out_slot = (self.cost as i64 + delta) as u64;
+        }
+        debug_assert!(
+            out.iter()
+                .enumerate()
+                .all(|(j, &c)| c == (self.cost as i64 + self.delta_for_swap(m, j)) as u64),
+            "batched probe diverged from the per-pair delta path (culprit {m})"
+        );
     }
 
     fn apply_swap(&mut self, i: usize, j: usize) {
         if i == j {
             return;
         }
-        let edges = self.affected_edges(i, j);
-        for &e in &edges {
+        let (edges, edge_count) = self.affected_edges(i, j);
+        for &e in &edges[..edge_count] {
             self.remove_edge(e);
         }
         self.values.swap(i, j);
-        for &e in &edges {
+        for &e in &edges[..edge_count] {
             self.add_edge(e);
         }
     }

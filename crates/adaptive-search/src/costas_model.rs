@@ -273,8 +273,12 @@ impl PermutationProblem for CostasProblem {
         self.table.variable_errors(out);
     }
 
-    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
-        self.table.cost_after_swap(i, j)
+    fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
+        self.table.delta_for_swap(i, j)
+    }
+
+    fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
+        self.table.probe_partners(culprit, out);
     }
 
     fn apply_swap(&mut self, i: usize, j: usize) {

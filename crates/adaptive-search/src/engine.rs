@@ -73,6 +73,7 @@ pub struct Engine<P: PermutationProblem> {
     // scratch buffers reused across iterations to keep the inner loop allocation-free
     errors: Vec<u64>,
     ties: Vec<usize>,
+    probe: Vec<u64>,
 }
 
 impl<P: PermutationProblem> Engine<P> {
@@ -101,6 +102,7 @@ impl<P: PermutationProblem> Engine<P> {
             restart_pending: false,
             errors: Vec::with_capacity(n),
             ties: Vec::with_capacity(n),
+            probe: Vec::with_capacity(n),
         };
         engine.randomize_configuration();
         engine
@@ -181,15 +183,19 @@ impl<P: PermutationProblem> Engine<P> {
 
     /// Min-conflict step: among all swaps of `culprit` with another position, find the
     /// one giving the lowest cost (ties broken uniformly at random).
+    ///
+    /// The whole neighbourhood is evaluated through the problem's **read-only
+    /// batched probe** ([`PermutationProblem::probe_partners`]) — nothing is applied
+    /// or un-applied while scanning, and the scan itself is allocation-free (the
+    /// probe buffer is engine scratch).
     fn best_swap_for(&mut self, culprit: usize) -> (usize, u64) {
-        let n = self.problem.size();
+        self.problem.probe_partners(culprit, &mut self.probe);
         let mut best_cost = u64::MAX;
         self.ties.clear();
-        for j in 0..n {
+        for (j, &cost) in self.probe.iter().enumerate() {
             if j == culprit {
                 continue;
             }
-            let cost = self.problem.cost_after_swap(culprit, j);
             if cost < best_cost {
                 best_cost = cost;
                 self.ties.clear();
@@ -199,20 +205,34 @@ impl<P: PermutationProblem> Engine<P> {
             }
         }
         let pick = self.ties[self.rng.index(self.ties.len())];
+        debug_assert_eq!(
+            best_cost,
+            self.problem.cost_after_swap(culprit, pick),
+            "probe result disagrees with the compatibility wrapper for ({culprit}, {pick})"
+        );
         (pick, best_cost)
     }
 
     /// Generic reset: perturb ⌈RP·n⌉ variables (at least one) by random swaps, which
     /// re-assigns "fresh values" while staying inside the permutation representation.
+    ///
+    /// The partner is re-sampled on a collision (`i == j`), so the reset applies
+    /// exactly ⌈RP·n⌉ *effective* swaps instead of silently dropping a fraction of
+    /// its perturbation strength (≈ 1/n of it, which for small instances made the
+    /// configured `RP` a lie).
     fn generic_random_reset(&mut self) {
         let n = self.problem.size();
+        if n < 2 {
+            return;
+        }
         let k = ((self.config.reset.reset_percentage * n as f64).ceil() as usize).max(1);
         for _ in 0..k {
             let i = self.rng.index(n);
-            let j = self.rng.index(n);
-            if i != j {
-                self.problem.apply_swap(i, j);
+            let mut j = self.rng.index(n);
+            while j == i {
+                j = self.rng.index(n);
             }
+            self.problem.apply_swap(i, j);
         }
     }
 
@@ -650,6 +670,73 @@ mod tests {
         assert!(e.inject_candidate(&elite, u64::MAX).adopted());
         assert!(!e.restart_pending());
         assert_eq!(e.stats().coordinated_restarts, 0);
+    }
+
+    /// A never-solved problem that records every committed swap, used to observe
+    /// the generic reset from outside.
+    #[derive(Debug, Clone)]
+    struct SwapCounter {
+        values: Vec<usize>,
+        swaps: u64,
+    }
+
+    impl SwapCounter {
+        fn new(n: usize) -> Self {
+            Self {
+                values: (1..=n).collect(),
+                swaps: 0,
+            }
+        }
+    }
+
+    impl PermutationProblem for SwapCounter {
+        fn size(&self) -> usize {
+            self.values.len()
+        }
+        fn set_configuration(&mut self, values: &[usize]) {
+            self.values = values.to_vec();
+        }
+        fn configuration(&self) -> &[usize] {
+            &self.values
+        }
+        fn global_cost(&self) -> u64 {
+            1
+        }
+        fn variable_errors(&self, out: &mut Vec<u64>) {
+            out.clear();
+            out.resize(self.values.len(), 1);
+        }
+        fn delta_for_swap(&self, _i: usize, _j: usize) -> i64 {
+            0
+        }
+        fn apply_swap(&mut self, i: usize, j: usize) {
+            assert_ne!(i, j, "the generic reset must never emit a no-op swap");
+            self.values.swap(i, j);
+            self.swaps += 1;
+        }
+    }
+
+    #[test]
+    fn generic_reset_applies_exactly_the_configured_number_of_swaps() {
+        // RP = 0.5 over 10 variables → exactly ⌈5⌉ = 5 effective swaps per reset;
+        // collisions are re-sampled instead of silently dropped.
+        let config = AsConfig::builder()
+            .reset_percentage(0.5)
+            .use_custom_reset(false)
+            .build();
+        for seed in 0..50u64 {
+            let mut e = Engine::new(SwapCounter::new(10), config.clone(), seed);
+            let before = e.problem().swaps;
+            e.generic_random_reset();
+            assert_eq!(e.problem().swaps - before, 5, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generic_reset_on_order_one_is_a_noop() {
+        let mut e = Engine::new(SwapCounter::new(1), AsConfig::default(), 3);
+        e.generic_random_reset();
+        assert_eq!(e.problem().swaps, 0);
     }
 
     #[test]

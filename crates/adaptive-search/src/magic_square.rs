@@ -120,6 +120,36 @@ impl MagicSquareProblem {
         }
     }
 
+    /// Signed cost change of moving `delta` units between the lines of cells `i`
+    /// and `j` (`delta = v_j − v_i` lands on `i`'s lines and leaves `j`'s).
+    /// O(1): at most 2 rows, 2 columns and the 2 main diagonals are touched, and a
+    /// line's contribution is just `|sum − M|`.
+    fn line_delta(&self, i: usize, j: usize, delta: i64) -> i64 {
+        let (ri, rj) = (self.row_of(i), self.row_of(j));
+        let (ci, cj) = (self.col_of(i), self.col_of(j));
+        let mut change = 0i64;
+        let dev = |s: i64| (s - self.magic).abs();
+        if ri != rj {
+            change += dev(self.row_sums[ri] + delta) - dev(self.row_sums[ri]);
+            change += dev(self.row_sums[rj] - delta) - dev(self.row_sums[rj]);
+        }
+        if ci != cj {
+            change += dev(self.col_sums[ci] + delta) - dev(self.col_sums[ci]);
+            change += dev(self.col_sums[cj] - delta) - dev(self.col_sums[cj]);
+        }
+        // The two cells can sit on the same diagonal (net zero) or on opposite
+        // ends of it, so the diagonal change is the *sum* of their contributions.
+        let main = i64::from(self.on_main_diag(i)) - i64::from(self.on_main_diag(j));
+        if main != 0 {
+            change += dev(self.diag_main + main * delta) - dev(self.diag_main);
+        }
+        let anti = i64::from(self.on_anti_diag(i)) - i64::from(self.on_anti_diag(j));
+        if anti != 0 {
+            change += dev(self.diag_anti + anti * delta) - dev(self.diag_anti);
+        }
+        change
+    }
+
     /// Reference cost used by tests (recomputes everything).
     #[cfg(test)]
     fn cost_from_scratch(side: usize, values: &[usize]) -> u64 {
@@ -163,26 +193,74 @@ impl PermutationProblem for MagicSquareProblem {
         }
     }
 
-    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
+    /// O(1) from the cached row/column/diagonal sums.
+    fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
         if i == j {
-            return self.cost;
+            return 0;
         }
-        self.apply_swap(i, j);
-        let c = self.cost;
-        self.apply_swap(i, j);
-        c
+        self.line_delta(i, j, self.values[j] as i64 - self.values[i] as i64)
+    }
+
+    /// O(1) per candidate: the culprit cell's row, column and diagonal membership
+    /// are hoisted out of the loop and every candidate is scored from the cached
+    /// line sums alone.
+    fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
+        let n = self.values.len();
+        out.clear();
+        out.resize(n, self.cost);
+        let vm = self.values[culprit] as i64;
+        let (rm, cm) = (self.row_of(culprit), self.col_of(culprit));
+        let main_m = i64::from(self.on_main_diag(culprit));
+        let anti_m = i64::from(self.on_anti_diag(culprit));
+        let (row_m, col_m) = (self.row_sums[rm], self.col_sums[cm]);
+        let dev = |s: i64| (s - self.magic).abs();
+        for (j, slot) in out.iter_mut().enumerate() {
+            if j == culprit {
+                continue;
+            }
+            let d = self.values[j] as i64 - vm;
+            let (rj, cj) = (self.row_of(j), self.col_of(j));
+            let mut delta = 0i64;
+            if rj != rm {
+                delta += dev(row_m + d) - dev(row_m);
+                delta += dev(self.row_sums[rj] - d) - dev(self.row_sums[rj]);
+            }
+            if cj != cm {
+                delta += dev(col_m + d) - dev(col_m);
+                delta += dev(self.col_sums[cj] - d) - dev(self.col_sums[cj]);
+            }
+            let main = main_m - i64::from(self.on_main_diag(j));
+            if main != 0 {
+                delta += dev(self.diag_main + main * d) - dev(self.diag_main);
+            }
+            let anti = anti_m - i64::from(self.on_anti_diag(j));
+            if anti != 0 {
+                delta += dev(self.diag_anti + anti * d) - dev(self.diag_anti);
+            }
+            *slot = (self.cost as i64 + delta) as u64;
+        }
+        debug_assert!(
+            out.iter()
+                .enumerate()
+                .all(|(j, &c)| c == (self.cost as i64 + self.delta_for_swap(culprit, j)) as u64),
+            "batched probe diverged from the per-pair delta path (culprit {culprit})"
+        );
     }
 
     fn apply_swap(&mut self, i: usize, j: usize) {
         if i == j {
             return;
         }
+        // The delta is evaluated against the pre-swap sums, so the O(side) cost
+        // recompute the apply path used to pay is gone too.
+        let new_cost = (self.cost as i64 + self.delta_for_swap(i, j)) as u64;
         let vi = self.values[i] as i64;
         let vj = self.values[j] as i64;
         self.shift_cell(i, vj - vi);
         self.shift_cell(j, vi - vj);
         self.values.swap(i, j);
-        self.cost = self.compute_cost();
+        self.cost = new_cost;
+        debug_assert_eq!(self.cost, self.compute_cost(), "incremental cost diverged");
     }
 
     fn name(&self) -> &'static str {

@@ -9,6 +9,24 @@
 //! A problem implementation owns its incremental bookkeeping (e.g. the Costas model
 //! wraps a [`costas::ConflictTable`]); the engine only ever talks to it through this
 //! trait, which keeps the metaheuristic strictly domain-independent (paper §III).
+//!
+//! # Evaluation layers
+//!
+//! The trait exposes two evaluation layers:
+//!
+//! * **Read-only probes** — [`PermutationProblem::delta_for_swap`] and the batched
+//!   [`PermutationProblem::probe_partners`] answer "what would this swap cost?"
+//!   against the cached incremental state without touching it.  This is the layer
+//!   the min-conflict inner loop lives on: for one culprit variable the engine
+//!   probes all `n − 1` candidate partners, and only one of those swaps (at most)
+//!   is ever applied.
+//! * **Mutation** — [`PermutationProblem::apply_swap`] and
+//!   [`PermutationProblem::set_configuration`] commit a move and update the
+//!   incremental tables.
+//!
+//! Keeping the probe layer strictly `&self` both documents the purity contract in
+//! the type system and lets implementations skip the "apply + un-apply" double
+//! mutation the probe loop would otherwise pay per candidate.
 
 use xrand::Rng64;
 
@@ -33,9 +51,61 @@ pub trait PermutationProblem {
     /// culprit to repair (paper §III-A).
     fn variable_errors(&self, out: &mut Vec<u64>);
 
+    /// Signed change in global cost a swap of positions `i` and `j` would cause
+    /// (`cost_after − cost_before`); `0` when `i == j`.
+    ///
+    /// **Purity contract:** this takes `&self` and must have *no observable
+    /// mutation* — no change to the configuration, the cost, the incremental
+    /// tables, or any other state a caller could detect (interior mutability, if
+    /// used at all, must stay invisible).  The result must agree exactly with a
+    /// from-scratch recompute of the swapped configuration; the engine and the
+    /// baselines rely on this to probe entire neighbourhoods without un-applying
+    /// anything.
+    fn delta_for_swap(&self, i: usize, j: usize) -> i64;
+
+    /// Batched read-only probe: write into `out[j]` the global cost the
+    /// configuration would have after swapping `culprit` with `j`, for every
+    /// position `j` (`out[culprit]` must be the current cost; `out` is resized to
+    /// [`PermutationProblem::size`]).
+    ///
+    /// Same purity contract as [`PermutationProblem::delta_for_swap`]: `&self`, no
+    /// observable mutation.  The default implementation falls back to per-pair
+    /// deltas; models override it when part of the per-candidate work can be
+    /// hoisted out of the loop (e.g. the Costas model removes the culprit's pairs
+    /// from its row histogram once for all `n − 1` candidates).
+    fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
+        let n = self.size();
+        let current = self.global_cost();
+        out.clear();
+        out.resize(n, current);
+        for (j, slot) in out.iter_mut().enumerate() {
+            if j != culprit {
+                *slot = (current as i64 + self.delta_for_swap(culprit, j)) as u64;
+            }
+        }
+    }
+
     /// Cost the configuration would have after swapping positions `i` and `j`.
     /// Must not change the observable configuration.
-    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64;
+    ///
+    /// Compatibility wrapper over [`PermutationProblem::delta_for_swap`] — the
+    /// engine and the baselines use the read-only probes directly.  Under
+    /// `debug_assertions` the prediction is cross-checked against the mutating
+    /// apply/un-apply path.
+    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
+        let predicted = (self.global_cost() as i64 + self.delta_for_swap(i, j)) as u64;
+        #[cfg(debug_assertions)]
+        {
+            self.apply_swap(i, j);
+            let actual = self.global_cost();
+            self.apply_swap(i, j);
+            debug_assert_eq!(
+                actual, predicted,
+                "delta path diverged from the apply path for swap ({i}, {j})"
+            );
+        }
+        predicted
+    }
 
     /// Commit a swap of positions `i` and `j`.
     fn apply_swap(&mut self, i: usize, j: usize);
@@ -109,11 +179,14 @@ mod tests {
                     .map(|(i, &v)| u64::from(v != i + 1)),
             );
         }
-        fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
-            self.values.swap(i, j);
-            let c = self.global_cost();
-            self.values.swap(i, j);
-            c
+        fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
+            if i == j {
+                return 0;
+            }
+            let misplaced = |pos: usize, v: usize| -> i64 { i64::from(v != pos + 1) };
+            misplaced(i, self.values[j]) + misplaced(j, self.values[i])
+                - misplaced(i, self.values[i])
+                - misplaced(j, self.values[j])
         }
         fn apply_swap(&mut self, i: usize, j: usize) {
             self.values.swap(i, j);
@@ -135,6 +208,12 @@ mod tests {
         assert_eq!(errs, vec![1, 1, 0, 0]);
         assert_eq!(p.cost_after_swap(0, 1), 0);
         assert_eq!(p.global_cost(), 2, "cost_after_swap must not mutate");
+        assert_eq!(p.delta_for_swap(0, 1), -2);
+        assert_eq!(p.delta_for_swap(1, 0), -2);
+        assert_eq!(p.delta_for_swap(2, 2), 0);
+        let mut probe = Vec::new();
+        p.probe_partners(0, &mut probe);
+        assert_eq!(probe, vec![2, 0, 3, 3], "default batched probe from deltas");
         p.apply_swap(0, 1);
         assert!(p.is_solution());
     }

@@ -9,6 +9,8 @@
 //! The implementation maintains per-diagonal occupancy counters so cost updates are
 //! O(1) per swap — the same incremental philosophy as the Costas conflict table.
 
+use costas::BucketMerge;
+
 use crate::problem::PermutationProblem;
 
 /// N-Queens with incremental diagonal counting.
@@ -87,6 +89,27 @@ impl QueensProblem {
         self.diag_diff[d] += 1;
     }
 
+    /// Conflicts a diagonal with `c` occupants contributes: `C(c, 2)`.
+    #[inline]
+    fn pair_conflicts(c: i64) -> i64 {
+        c * (c - 1) / 2
+    }
+
+    /// Net conflict change across one diagonal family for up to four ±1 occupancy
+    /// changes, merged per diagonal (a swap can hit the same diagonal twice).
+    fn family_delta(counts: &[u32], changes: [(usize, i64); 4]) -> i64 {
+        let mut touched = BucketMerge::<4>::new();
+        for (idx, change) in changes {
+            touched.push(idx, change);
+        }
+        let mut delta = 0i64;
+        for (idx, net) in touched.nets() {
+            let c = i64::from(counts[idx]);
+            delta += Self::pair_conflicts(c + net) - Self::pair_conflicts(c);
+        }
+        delta
+    }
+
     /// Reference O(n²) cost used by tests.
     #[cfg(test)]
     fn cost_from_scratch(values: &[usize]) -> u64 {
@@ -134,14 +157,92 @@ impl PermutationProblem for QueensProblem {
         }
     }
 
-    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
+    /// O(1): only the ≤ 4 diagonals of each family touched by the two queens can
+    /// change occupancy, and a diagonal with `c` occupants holds `C(c, 2)`
+    /// conflicts.
+    fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
         if i == j {
-            return self.cost;
+            return 0;
         }
-        self.apply_swap(i, j);
-        let c = self.cost;
-        self.apply_swap(i, j);
-        c
+        let n = self.n();
+        let (vi, vj) = (self.values[i], self.values[j]);
+        Self::family_delta(
+            &self.diag_sum,
+            [
+                (vi - 1 + i, -1),
+                (vj - 1 + j, -1),
+                (vj - 1 + i, 1),
+                (vi - 1 + j, 1),
+            ],
+        ) + Self::family_delta(
+            &self.diag_diff,
+            [
+                (vi - 1 + n - 1 - i, -1),
+                (vj - 1 + n - 1 - j, -1),
+                (vj - 1 + n - 1 - i, 1),
+                (vi - 1 + n - 1 - j, 1),
+            ],
+        )
+    }
+
+    /// O(1) per candidate; the culprit queen's departure from her two diagonals is
+    /// shared by every candidate, so it is scored once up front and the
+    /// per-candidate pass only merges the three remaining ±1 occupancy changes per
+    /// family against that baseline.
+    fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
+        let n = self.n();
+        out.clear();
+        out.resize(n, self.cost);
+        if n < 2 {
+            return;
+        }
+        let m = culprit;
+        let vm = self.values[m];
+        let (sum_m, diff_m) = (vm - 1 + m, vm - 1 + n - 1 - m);
+        // Hoisted removal: taking the culprit's queen off a diagonal with c
+        // occupants changes its conflicts by C(c − 1, 2) − C(c, 2) = 1 − c.
+        let removal = 2 - i64::from(self.diag_sum[sum_m]) - i64::from(self.diag_diff[diff_m]);
+        // Three changes per family against the culprit-removed baseline.
+        let probe_family = |counts: &[u32], removed: usize, changes: [(usize, i64); 3]| -> i64 {
+            let mut touched = BucketMerge::<3>::new();
+            for (idx, change) in changes {
+                touched.push(idx, change);
+            }
+            let mut delta = 0i64;
+            for (idx, net) in touched.nets() {
+                let b = i64::from(counts[idx]) - i64::from(idx == removed);
+                delta += Self::pair_conflicts(b + net) - Self::pair_conflicts(b);
+            }
+            delta
+        };
+        for (j, slot) in out.iter_mut().enumerate() {
+            if j == m {
+                continue;
+            }
+            let vj = self.values[j];
+            let delta = removal
+                + probe_family(
+                    &self.diag_sum,
+                    sum_m,
+                    [(vj - 1 + m, 1), (vj - 1 + j, -1), (vm - 1 + j, 1)],
+                )
+                + probe_family(
+                    &self.diag_diff,
+                    diff_m,
+                    [
+                        (vj - 1 + n - 1 - m, 1),
+                        (vj - 1 + n - 1 - j, -1),
+                        (vm - 1 + n - 1 - j, 1),
+                    ],
+                );
+            *slot = (self.cost as i64 + delta) as u64;
+        }
+        debug_assert!(
+            out.iter()
+                .enumerate()
+                .all(|(j, &c)| c == (self.cost as i64 + self.delta_for_swap(m, j)) as u64),
+            "batched probe diverged from the per-pair delta path (culprit {m})"
+        );
     }
 
     fn apply_swap(&mut self, i: usize, j: usize) {

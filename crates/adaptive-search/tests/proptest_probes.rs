@@ -1,0 +1,131 @@
+//! Property tests for the read-only delta-evaluation layer.
+//!
+//! The contract under test, for **all four models**: along arbitrary random swap
+//! sequences,
+//!
+//! * `delta_for_swap(i, j)` agrees with a from-scratch `global_cost` recompute of
+//!   the swapped configuration,
+//! * `probe_partners(culprit, ..)` agrees with the per-pair deltas for every
+//!   candidate partner,
+//! * neither probe observably mutates the problem,
+//! * the incremental cost after `apply_swap` agrees with a from-scratch rebuild.
+//!
+//! "From scratch" means a *fresh* problem instance fed the candidate configuration
+//! through `set_configuration`, so the oracle never shares incremental state with
+//! the instance under test.
+
+use adaptive_search::all_interval::AllIntervalProblem;
+use adaptive_search::magic_square::MagicSquareProblem;
+use adaptive_search::queens::QueensProblem;
+use adaptive_search::{CostasProblem, PermutationProblem};
+use proptest::prelude::*;
+use xrand::{default_rng, random_permutation};
+
+/// A random 1-based permutation of the given order.
+fn random_configuration(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = default_rng(seed);
+    let mut p = random_permutation(n, &mut rng);
+    p.iter_mut().for_each(|v| *v += 1);
+    p
+}
+
+/// Cost of `values` according to a freshly built model (the from-scratch oracle).
+fn scratch_cost<P: PermutationProblem>(factory: &impl Fn() -> P, values: &[usize]) -> u64 {
+    let mut fresh = factory();
+    fresh.set_configuration(values);
+    fresh.global_cost()
+}
+
+/// Drive one model through a random swap sequence, checking the full probe
+/// contract at every step (panics on the first violation).
+fn check_probe_contract<P: PermutationProblem>(
+    factory: impl Fn() -> P,
+    seed: u64,
+    swaps: &[(usize, usize)],
+) {
+    let mut problem = factory();
+    let n = problem.size();
+    problem.set_configuration(&random_configuration(n, seed));
+    let mut probe = Vec::new();
+    for (step, &(a, b)) in swaps.iter().enumerate() {
+        let (i, j) = (a % n, b % n);
+        let before = problem.configuration().to_vec();
+        let cost = problem.global_cost();
+
+        // delta_for_swap agrees with the from-scratch oracle …
+        let mut swapped = before.clone();
+        swapped.swap(i, j);
+        let oracle = scratch_cost(&factory, &swapped) as i64;
+        assert_eq!(
+            cost as i64 + problem.delta_for_swap(i, j),
+            oracle,
+            "delta_for_swap({i}, {j}) at step {step} (n={n}, seed={seed})"
+        );
+        // … and is symmetric and pure.
+        assert_eq!(problem.delta_for_swap(i, j), problem.delta_for_swap(j, i));
+        assert_eq!(problem.delta_for_swap(i, i), 0);
+        assert_eq!(problem.configuration(), &before[..]);
+        assert_eq!(problem.global_cost(), cost);
+
+        // probe_partners agrees with the oracle for every candidate.
+        problem.probe_partners(i, &mut probe);
+        assert_eq!(probe.len(), n);
+        assert_eq!(probe[i], cost);
+        for (candidate, &probed) in probe.iter().enumerate() {
+            let mut swapped = before.clone();
+            swapped.swap(i, candidate);
+            assert_eq!(
+                probed,
+                scratch_cost(&factory, &swapped),
+                "probe_partners({i})[{candidate}] at step {step} (n={n}, seed={seed})"
+            );
+        }
+        assert_eq!(problem.configuration(), &before[..]);
+
+        // Committing the swap keeps the incremental cost consistent.
+        problem.apply_swap(i, j);
+        assert_eq!(problem.global_cost(), oracle as u64);
+    }
+}
+
+proptest! {
+    // Each case replays a full swap sequence with an O(n) oracle per probe entry,
+    // so keep the case count moderate.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn costas_probes_match_scratch_recompute(
+        n in 2usize..=16,
+        seed in any::<u64>(),
+        swaps in proptest::collection::vec((0usize..64, 0usize..64), 1..24),
+    ) {
+        check_probe_contract(|| CostasProblem::new(n), seed, &swaps);
+    }
+
+    #[test]
+    fn queens_probes_match_scratch_recompute(
+        n in 2usize..=24,
+        seed in any::<u64>(),
+        swaps in proptest::collection::vec((0usize..64, 0usize..64), 1..24),
+    ) {
+        check_probe_contract(|| QueensProblem::new(n), seed, &swaps);
+    }
+
+    #[test]
+    fn all_interval_probes_match_scratch_recompute(
+        n in 2usize..=24,
+        seed in any::<u64>(),
+        swaps in proptest::collection::vec((0usize..64, 0usize..64), 1..24),
+    ) {
+        check_probe_contract(|| AllIntervalProblem::new(n), seed, &swaps);
+    }
+
+    #[test]
+    fn magic_square_probes_match_scratch_recompute(
+        side in 2usize..=5,
+        seed in any::<u64>(),
+        swaps in proptest::collection::vec((0usize..64, 0usize..64), 1..16),
+    ) {
+        check_probe_contract(|| MagicSquareProblem::new(side), seed, &swaps);
+    }
+}

@@ -95,7 +95,8 @@ impl DialecticSearch {
                     .iter()
                     .position(|&v| v == target_value)
                     .expect("value exists in a permutation");
-                let cost = table.cost_after_swap(i, j);
+                // read-only delta probe: nothing to un-apply
+                let cost = (table.cost() as i64 + table.delta_for_swap(i, j)) as u64;
                 evaluated += 1;
                 if best_move.map(|(_, _, c)| cost < c).unwrap_or(true) {
                     best_move = Some((i, j, cost));

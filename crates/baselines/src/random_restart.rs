@@ -54,6 +54,9 @@ impl CostasSolver for RandomRestartHillClimbing {
         let mut restarts = 0u64;
         let mut best_cost = u64::MAX;
         let mut best_values: Vec<usize> = Vec::new();
+        // scratch buffers reused across climbs
+        let mut probe: Vec<u64> = Vec::with_capacity(n);
+        let mut errors: Vec<u64> = Vec::with_capacity(n);
 
         'outer: loop {
             // fresh random configuration
@@ -77,7 +80,6 @@ impl CostasSolver for RandomRestartHillClimbing {
                     break;
                 }
                 // pick a random conflicted variable and its best swap partner
-                let mut errors = Vec::new();
                 table.variable_errors(&mut errors);
                 let conflicted: Vec<usize> = errors
                     .iter()
@@ -89,13 +91,14 @@ impl CostasSolver for RandomRestartHillClimbing {
                     break;
                 }
                 let var = conflicted[rng.index(conflicted.len())];
+                // batched read-only probe of every candidate partner
+                table.probe_partners(var, &mut probe);
                 let mut best_partner = var;
                 let mut best_after = u64::MAX;
-                for j in 0..n {
+                for (j, &c) in probe.iter().enumerate() {
                     if j == var {
                         continue;
                     }
-                    let c = table.cost_after_swap(var, j);
                     if c < best_after {
                         best_after = c;
                         best_partner = j;

@@ -66,16 +66,22 @@ impl CostasSolver for QuadraticTabuSearch {
         let mut best_values = table.values().to_vec();
         let mut since_improvement = 0u64;
         let mut restarts = 0u64;
+        // read-only probe buffer reused across the quadratic sweeps
+        let mut probe: Vec<u64> = Vec::with_capacity(n);
 
         while best_cost > 0 && !budget.exhausted(start, iteration) {
             iteration += 1;
             let current_cost = table.cost();
 
-            // full quadratic sweep
+            // Full quadratic sweep through the read-only batched probe: one
+            // upper-triangle probe per row hoists the "remove row i's pairs" pass
+            // over the whole row instead of paying apply + un-apply per cell, and
+            // skips the j < i half the sweep never reads.
             let mut best_move: Option<(usize, usize, u64)> = None;
             for i in 0..n {
+                table.probe_partners_above(i, &mut probe);
                 for j in (i + 1)..n {
-                    let cost = table.cost_after_swap(i, j);
+                    let cost = probe[j];
                     let tabu = tabu_until[i * n + j] > iteration;
                     let aspires = cost < best_cost;
                     if tabu && !aspires {

@@ -27,6 +27,49 @@ fn bench_conflict_table(c: &mut Criterion) {
             });
         });
 
+        group.bench_with_input(BenchmarkId::new("delta_for_swap", n), &n, |b, _| {
+            let table = ConflictTable::new(&perm, model);
+            let mut rng = default_rng(11);
+            b.iter(|| {
+                let i = rng.index(n);
+                let j = rng.index(n);
+                black_box(table.delta_for_swap(i, j))
+            });
+        });
+
+        // The engine's actual inner loop: one batched probe of all n−1 partners.
+        group.bench_with_input(BenchmarkId::new("probe_partners", n), &n, |b, _| {
+            let table = ConflictTable::new(&perm, model);
+            let mut rng = default_rng(11);
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                table.probe_partners(rng.index(n), &mut out);
+                black_box(out[0])
+            });
+        });
+
+        // What the batched probe replaced: n−1 apply+un-apply evaluations.
+        group.bench_with_input(
+            BenchmarkId::new("probe_via_apply_unapply", n),
+            &n,
+            |b, _| {
+                let mut table = ConflictTable::new(&perm, model);
+                let mut rng = default_rng(11);
+                b.iter(|| {
+                    let culprit = rng.index(n);
+                    let mut acc = 0u64;
+                    for j in 0..n {
+                        if j != culprit {
+                            table.apply_swap(culprit, j);
+                            acc = acc.wrapping_add(table.cost());
+                            table.apply_swap(culprit, j);
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+
         group.bench_with_input(BenchmarkId::new("scratch_cost", n), &n, |b, _| {
             b.iter(|| black_box(model.global_cost(&perm)));
         });

@@ -18,8 +18,14 @@
 //! machine-readable `BENCH_*.json` artefact (path overridable with
 //! `COSTAS_BENCH_JSON`) that the CI `bench-smoke` job uploads so the perf trajectory
 //! accumulates.  `COSTAS_COOP_INTERVAL` overrides the exchange interval.
+//!
+//! Schema v2: the artefact additionally carries a `probe_throughput` section —
+//! engine steps/sec for all four models (see the `probe_throughput` harness) — so
+//! the single committed `BENCH_dev.json` tracks both the scaling shape and the
+//! raw probe-path speed.
 
 use bench::protocol::{cooperative_cell, parallel_cell, CellMode, CellSummary, CoopCellSummary};
+use bench::throughput::standard_models;
 use bench::{banner, write_bench_json, write_csv, HarnessOptions};
 use multiwalk::{CoopConfig, PlatformProfile, VirtualCluster, WalkSpec};
 use runtime_stats::table::fmt_seconds;
@@ -116,14 +122,36 @@ fn main() {
     let csv_path = write_csv("coop_vs_independent.csv", &table.to_csv());
     println!("CSV written to {}", csv_path.display());
 
+    // Schema v2 rider: probe throughput (engine steps/sec) for all four models, so
+    // the perf trajectory of the probe path accumulates alongside the scaling data.
+    // Deliberately not tied to COSTAS_RUNS: the cell repetition count and the step
+    // count needed for a stable steps/sec reading are unrelated quantities.
+    let throughput_steps: u64 = if options.full { 200_000 } else { 20_000 };
+    let throughput = standard_models(throughput_steps, options.master_seed);
+    let mut throughput_table = TextTable::new(vec!["model", "n", "steps/sec"]);
+    for s in &throughput {
+        throughput_table.add_row(vec![
+            s.model.to_string(),
+            s.size.to_string(),
+            format!("{:.0}", s.steps_per_sec),
+        ]);
+    }
+    println!("Probe throughput ({throughput_steps} engine steps per model):");
+    println!("\n{}", throughput_table.render());
+
     let doc = Json::object(vec![
-        ("schema", Json::from("coop_vs_independent/v1")),
+        ("schema", Json::from("coop_vs_independent/v2")),
         ("n", Json::from(n)),
         ("runs", Json::from(runs)),
         ("master_seed", Json::from(options.master_seed)),
         ("exchange_interval", Json::from(exchange_interval)),
         ("core_counts", Json::from(CORE_COUNTS.to_vec())),
         ("cells", Json::Array(cells)),
+        ("probe_throughput_steps", Json::from(throughput_steps)),
+        (
+            "probe_throughput",
+            Json::Array(throughput.iter().map(|s| s.to_json()).collect()),
+        ),
     ]);
     let json_path = write_bench_json("BENCH_coop_vs_independent.json", &doc);
     println!("JSON written to {}", json_path.display());

@@ -1,0 +1,55 @@
+//! **Probe throughput** — engine steps/sec per model, the direct measure of the
+//! read-only delta-evaluation layer.
+//!
+//! Protocol: for each of the four models (Costas 18, N-Queens 100, All-Interval
+//! 50, Magic Square 10×10) run one Adaptive Search walk for a fixed number of
+//! engine steps and report steps per second.  An engine step is dominated by the
+//! min-conflict probe of all `n − 1` candidate partners of the culprit variable,
+//! so steps/sec tracks exactly the cost the batched `probe_partners` path is
+//! supposed to shrink; regressions on this number mean the probe path got slower.
+//!
+//! Output: the throughput table on stdout, a CSV under `target/experiments/`, and
+//! a machine-readable `BENCH_*.json` artefact (schema `probe_throughput/v1`; path
+//! overridable with `COSTAS_BENCH_JSON`) that the CI `bench-smoke` job uploads.
+//! `COSTAS_RUNS` overrides the step count.
+
+use bench::throughput::standard_models;
+use bench::{banner, write_bench_json, write_csv, HarnessOptions};
+use runtime_stats::{Json, TextTable};
+
+fn main() {
+    let options = HarnessOptions::from_env();
+    banner(
+        "Probe throughput (engine steps/sec per model)",
+        "one walk per model; every step probes all n-1 partners of the culprit",
+        &options,
+    );
+    let steps = options.runs(50_000, 500_000) as u64;
+    let samples = standard_models(steps, options.master_seed);
+
+    let mut table = TextTable::new(vec!["model", "n", "steps", "seconds", "steps/sec"]);
+    for s in &samples {
+        table.add_row(vec![
+            s.model.to_string(),
+            s.size.to_string(),
+            s.steps.to_string(),
+            format!("{:.3}", s.seconds),
+            format!("{:.0}", s.steps_per_sec),
+        ]);
+    }
+    println!("\n{}", table.render());
+    let csv_path = write_csv("probe_throughput.csv", &table.to_csv());
+    println!("CSV written to {}", csv_path.display());
+
+    let doc = Json::object(vec![
+        ("schema", Json::from("probe_throughput/v1")),
+        ("steps", Json::from(steps)),
+        ("master_seed", Json::from(options.master_seed)),
+        (
+            "models",
+            Json::Array(samples.iter().map(|s| s.to_json()).collect()),
+        ),
+    ]);
+    let json_path = write_bench_json("BENCH_probe_throughput.json", &doc);
+    println!("JSON written to {}", json_path.display());
+}

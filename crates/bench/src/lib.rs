@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 
 pub mod protocol;
 pub mod tables;
+pub mod throughput;
 
 /// Runtime options shared by every harness binary.
 #[derive(Debug, Clone)]

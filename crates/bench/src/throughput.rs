@@ -1,0 +1,125 @@
+//! Engine probe-throughput measurement, shared by the `probe_throughput` harness
+//! and the `BENCH_*.json` emitters.
+//!
+//! One measurement drives a single [`adaptive_search::Engine`] for a fixed number
+//! of [`Engine::step`] calls and reports steps per second.  Since a step is
+//! dominated by the min-conflict probe of all `n − 1` candidate partners of the
+//! culprit variable, steps/sec is a direct proxy for probe throughput — the
+//! quantity the read-only delta-evaluation layer exists to maximise.  Instances
+//! are sized so the walk keeps probing (hard enough not to solve instantly); when
+//! a walk does solve, the engine is restarted and measurement continues.
+
+use std::time::Instant;
+
+use adaptive_search::all_interval::AllIntervalProblem;
+use adaptive_search::magic_square::MagicSquareProblem;
+use adaptive_search::queens::QueensProblem;
+use adaptive_search::{AsConfig, CostasProblem, Engine, PermutationProblem, StepOutcome};
+use runtime_stats::Json;
+
+/// Steps/sec measurement of one model.
+#[derive(Debug, Clone)]
+pub struct ThroughputSample {
+    /// Model name (the problem's [`PermutationProblem::name`]).
+    pub model: &'static str,
+    /// Number of variables of the measured instance.
+    pub size: usize,
+    /// Engine steps executed.
+    pub steps: u64,
+    /// Wall-clock seconds the steps took.
+    pub seconds: f64,
+    /// Engine steps per second (probe throughput proxy).
+    pub steps_per_sec: f64,
+    /// Walks solved (and restarted) during the measurement.
+    pub solves: u64,
+}
+
+impl ThroughputSample {
+    /// The sample as a JSON object for the `BENCH_*.json` artefacts.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("model", Json::from(self.model)),
+            ("size", Json::from(self.size)),
+            ("steps", Json::from(self.steps)),
+            ("seconds", Json::from(self.seconds)),
+            ("steps_per_sec", Json::from(self.steps_per_sec)),
+            ("solves", Json::from(self.solves)),
+        ])
+    }
+}
+
+/// Run `steps` engine iterations on `problem` and measure steps/sec.
+pub fn engine_throughput<P: PermutationProblem>(
+    problem: P,
+    config: AsConfig,
+    seed: u64,
+    steps: u64,
+) -> ThroughputSample {
+    let model = problem.name();
+    let size = problem.size();
+    let mut engine = Engine::new(problem, config, seed);
+    let mut solves = 0u64;
+    let start = Instant::now();
+    for _ in 0..steps {
+        if engine.step() == StepOutcome::Solved {
+            solves += 1;
+            engine.restart();
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    ThroughputSample {
+        model,
+        size,
+        steps,
+        seconds,
+        steps_per_sec: steps as f64 / seconds.max(f64::MIN_POSITIVE),
+        solves,
+    }
+}
+
+/// Measure all four models with the standard instance sizes: Costas 18, N-Queens
+/// 100, All-Interval 50, Magic Square 10×10.
+pub fn standard_models(steps: u64, seed: u64) -> Vec<ThroughputSample> {
+    let generic = AsConfig::builder().use_custom_reset(false).build();
+    vec![
+        engine_throughput(
+            CostasProblem::new(18),
+            AsConfig::costas_defaults(18),
+            seed,
+            steps,
+        ),
+        engine_throughput(QueensProblem::new(100), generic.clone(), seed, steps),
+        engine_throughput(AllIntervalProblem::new(50), generic.clone(), seed, steps),
+        engine_throughput(MagicSquareProblem::new(10), generic, seed, steps),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_all_four_models() {
+        let samples = standard_models(200, 7);
+        assert_eq!(samples.len(), 4);
+        let names: Vec<&str> = samples.iter().map(|s| s.model).collect();
+        assert_eq!(
+            names,
+            vec!["costas", "n-queens", "all-interval", "magic-square"]
+        );
+        for s in &samples {
+            assert_eq!(s.steps, 200);
+            assert!(s.steps_per_sec > 0.0, "{}", s.model);
+            assert!(s.seconds > 0.0);
+            assert!(s.size >= 18);
+        }
+    }
+
+    #[test]
+    fn sample_serialises_with_a_steps_per_sec_field() {
+        let s = engine_throughput(CostasProblem::new(10), AsConfig::costas_defaults(10), 1, 50);
+        let rendered = s.to_json().render();
+        assert!(rendered.contains("\"steps_per_sec\":"), "{rendered}");
+        assert!(rendered.contains("\"model\":\"costas\""), "{rendered}");
+    }
+}

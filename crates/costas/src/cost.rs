@@ -19,6 +19,7 @@
 //! the inner loop of every local-search solver in this workspace fast.
 
 use crate::array::Permutation;
+use crate::merge::BucketMerge;
 
 /// Weighting function `ERR(d)` applied to an error at distance `d`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -343,16 +344,206 @@ impl ConflictTable {
         walk_affected!(self, add_pair);
     }
 
+    /// Value sitting at position `p` once positions `i` and `j` are swapped,
+    /// without performing the swap.
+    #[inline]
+    fn value_after_swap(&self, p: usize, i: usize, j: usize) -> i64 {
+        let q = if p == i {
+            j
+        } else if p == j {
+            i
+        } else {
+            p
+        };
+        self.values[q] as i64
+    }
+
+    /// Signed change in global cost a swap of positions `i` and `j` would cause,
+    /// computed **read-only** against the current histogram (`&self`, no mutation,
+    /// O(d_max), allocation-free).
+    ///
+    /// The affected pairs are the same O(d_max) set [`ConflictTable::apply_swap`]
+    /// walks, but instead of mutating the histogram twice the net count change of
+    /// every touched bucket is gathered first (a bucket can be hit by several of the
+    /// ≤ 4 affected pairs per distance) and the weighted cost difference
+    /// `ERR(d) · (max(c′ − 1, 0) − max(c − 1, 0))` is summed per distinct bucket.
+    pub fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
+        if i == j || self.n < 2 {
+            return 0;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        let mut delta = 0i64;
+        for d in 1..=self.dmax {
+            // Touched buckets at this distance with their net count change: at
+            // most 4 affected pairs, each removing one difference and adding one.
+            let mut touched = BucketMerge::<8>::new();
+            let lefts = [
+                (i >= d).then(|| i - d),
+                (i + d < self.n).then_some(i),
+                (j >= d && j - d != i).then(|| j - d),
+                (j + d < self.n).then_some(j),
+            ];
+            for l in lefts.into_iter().flatten() {
+                let r = l + d;
+                let old = self.values[r] as i64 - self.values[l] as i64;
+                let new = self.value_after_swap(r, i, j) - self.value_after_swap(l, i, j);
+                if old != new {
+                    touched.push(self.diff_index(d, old), -1);
+                    touched.push(self.diff_index(d, new), 1);
+                }
+            }
+            let w = self.model.weight_at(self.n, d) as i64;
+            for (idx, net) in touched.nets() {
+                let c = i64::from(self.counts[idx]);
+                delta += w * ((c + net - 1).max(0) - (c - 1).max(0));
+            }
+        }
+        delta
+    }
+
+    /// Batched read-only probe: write into `out[j]` the global cost the configuration
+    /// would have after swapping `culprit` with `j`, for every position `j`
+    /// (`out[culprit]` is the current cost).  Pure: `&self`, no observable mutation,
+    /// no allocation beyond the caller's `out` buffer.
+    ///
+    /// The "remove the culprit's pairs" half of the work — the ≤ 2 pairs per distance
+    /// that touch `culprit` lose their current difference whatever the partner is —
+    /// is hoisted out of the per-candidate loop: it is evaluated once per distance,
+    /// and the per-candidate pass only scores the re-added culprit differences plus
+    /// the candidate's own pairs against that precomputed baseline.
+    pub fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
+        self.probe_partners_range(culprit, 0, out);
+    }
+
+    /// Like [`ConflictTable::probe_partners`] but only fills `out[j]` for
+    /// `j > culprit`; entries at and below `culprit` hold the current cost.
+    ///
+    /// This is the upper-triangle variant for solvers that sweep every unordered
+    /// pair (the quadratic tabu baseline): probing only the partners above the row
+    /// index halves the sweep's probe work.
+    pub fn probe_partners_above(&self, culprit: usize, out: &mut Vec<u64>) {
+        self.probe_partners_range(culprit, culprit + 1, out);
+    }
+
+    /// Shared implementation: fill `out[j]` for `j in lo..n`, `j != m`.
+    ///
+    /// Structured distance-major so the hoisted culprit-removal state per distance
+    /// is a handful of scalars instead of a heap buffer: `out[j]` accumulates the
+    /// per-distance deltas, and every partial sum stays a valid `u64` because the
+    /// rows of the difference triangle contribute to the cost independently (a
+    /// partial sum is the cost of a configuration whose first rows are post-swap
+    /// and whose remaining rows are pre-swap, each row cost being ≥ 0).
+    fn probe_partners_range(&self, m: usize, lo_bound: usize, out: &mut Vec<u64>) {
+        let n = self.n;
+        assert!(m < n, "culprit {m} out of range for order {n}");
+        out.clear();
+        out.resize(n, self.cost);
+        if n < 2 || lo_bound >= n {
+            return;
+        }
+        let vm = self.values[m] as i64;
+        for d in 1..=self.dmax {
+            let w = self.model.weight_at(n, d) as i64;
+            // Hoisted per-distance removal: the culprit pairs (m − d, m) and
+            // (m, m + d) lose their current differences whatever the partner is.
+            let left_other = (m >= d).then(|| self.values[m - d] as i64);
+            let right_other = (m + d < n).then(|| self.values[m + d] as i64);
+            // Buckets vacated by the culprit (the two pairs can share one), turned
+            // into "count after removal" baselines in place.
+            let mut removed = BucketMerge::<2>::new();
+            if let Some(lo) = left_other {
+                removed.push(self.diff_index(d, vm - lo), 1);
+            }
+            if let Some(ro) = right_other {
+                removed.push(self.diff_index(d, ro - vm), 1);
+            }
+            let mut removal_delta = 0i64;
+            for slot in removed.entries_mut() {
+                let c = i64::from(self.counts[slot.0]);
+                removal_delta += w * ((c - slot.1 - 1).max(0) - (c - 1).max(0));
+                slot.1 = c - slot.1;
+            }
+            for (j, out_slot) in out.iter_mut().enumerate().skip(lo_bound) {
+                if j == m {
+                    continue;
+                }
+                let vj = self.values[j] as i64;
+                // ≤ 2 culprit re-additions + ≤ 2 candidate pairs × 2 entries.
+                let mut touched = BucketMerge::<6>::new();
+                // Culprit pair (m − d, m): position m now holds v_j; the left
+                // neighbour is v_m instead when the candidate *is* that neighbour.
+                if let Some(lo) = left_other {
+                    let lo = if m - d == j { vm } else { lo };
+                    touched.push(self.diff_index(d, vj - lo), 1);
+                }
+                // Culprit pair (m, m + d), mirrored.
+                if let Some(ro) = right_other {
+                    let ro = if m + d == j { vm } else { ro };
+                    touched.push(self.diff_index(d, ro - vj), 1);
+                }
+                // Candidate pair (j − d, j) — unless it touches the culprit, in
+                // which case it is one of the culprit pairs handled above.
+                if j >= d && j - d != m {
+                    let lo = self.values[j - d] as i64;
+                    let (old, new) = (vj - lo, vm - lo);
+                    if old != new {
+                        touched.push(self.diff_index(d, old), -1);
+                        touched.push(self.diff_index(d, new), 1);
+                    }
+                }
+                // Candidate pair (j, j + d), mirrored.
+                if j + d < n && j + d != m {
+                    let ro = self.values[j + d] as i64;
+                    let (old, new) = (ro - vj, ro - vm);
+                    if old != new {
+                        touched.push(self.diff_index(d, old), -1);
+                        touched.push(self.diff_index(d, new), 1);
+                    }
+                }
+                let mut delta = removal_delta;
+                for (idx, net) in touched.nets() {
+                    // Baseline count: the histogram with the culprit's old pairs
+                    // already removed.
+                    let b = removed
+                        .get(idx)
+                        .unwrap_or_else(|| i64::from(self.counts[idx]));
+                    delta += w * ((b + net - 1).max(0) - (b - 1).max(0));
+                }
+                *out_slot = out_slot.wrapping_add_signed(delta);
+            }
+        }
+        debug_assert!(
+            out.iter().enumerate().all(|(j, &c)| {
+                let expected = if j >= lo_bound && j != m {
+                    (self.cost as i64 + self.delta_for_swap(m, j)) as u64
+                } else {
+                    self.cost
+                };
+                c == expected
+            }),
+            "batched probe diverged from the per-pair delta path (culprit {m})"
+        );
+    }
+
     /// Cost the configuration would have after swapping positions `i` and `j`,
     /// without changing the current configuration.
+    ///
+    /// Thin compatibility wrapper over [`ConflictTable::delta_for_swap`]; solvers
+    /// should prefer the delta/batched probes directly.  Under `debug_assertions`
+    /// the prediction is cross-checked against the mutating apply/un-apply path.
     pub fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
-        if i == j {
-            return self.cost;
+        let predicted = (self.cost as i64 + self.delta_for_swap(i, j)) as u64;
+        #[cfg(debug_assertions)]
+        {
+            self.apply_swap(i, j);
+            let actual = self.cost;
+            self.apply_swap(i, j);
+            debug_assert_eq!(
+                actual, predicted,
+                "delta path diverged from the apply path for swap ({i}, {j})"
+            );
         }
-        self.apply_swap(i, j);
-        let c = self.cost;
-        self.apply_swap(i, j);
-        c
+        predicted
     }
 
     /// Debug helper: recompute the cost from scratch and compare with the running
@@ -515,6 +706,93 @@ mod tests {
             let mut copy = table.clone();
             copy.apply_swap(i, j);
             assert_eq!(copy.cost(), predicted);
+        }
+    }
+
+    #[test]
+    fn delta_for_swap_matches_apply_path() {
+        let mut rng = default_rng(13);
+        for n in [2usize, 3, 5, 9, 14, 21] {
+            for model in [CostModel::basic(), CostModel::optimized()] {
+                let p = one_based(random_permutation(n, &mut rng));
+                let table = ConflictTable::new(&p, model);
+                for i in 0..n {
+                    for j in 0..n {
+                        let mut copy = table.clone();
+                        copy.apply_swap(i, j);
+                        assert_eq!(
+                            table.cost() as i64 + table.delta_for_swap(i, j),
+                            copy.cost() as i64,
+                            "n={n} model={model:?} swap ({i}, {j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_for_swap_is_read_only_and_symmetric() {
+        let p = one_based(random_permutation(16, &mut default_rng(21)));
+        let table = ConflictTable::new(&p, CostModel::optimized());
+        let before_values = table.values().to_vec();
+        let before_cost = table.cost();
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(table.delta_for_swap(i, j), table.delta_for_swap(j, i));
+            }
+        }
+        assert_eq!(table.values(), &before_values[..]);
+        assert_eq!(table.cost(), before_cost);
+        assert!(table.consistency_check());
+    }
+
+    #[test]
+    fn probe_partners_matches_per_pair_deltas() {
+        let mut rng = default_rng(31);
+        let mut out = Vec::new();
+        for n in [1usize, 2, 4, 7, 13, 19] {
+            for model in [CostModel::basic(), CostModel::optimized()] {
+                let p = one_based(random_permutation(n, &mut rng));
+                let table = ConflictTable::new(&p, model);
+                for culprit in 0..n {
+                    table.probe_partners(culprit, &mut out);
+                    assert_eq!(out.len(), n);
+                    assert_eq!(out[culprit], table.cost());
+                    for (j, &probed) in out.iter().enumerate() {
+                        let mut copy = table.clone();
+                        copy.apply_swap(culprit, j);
+                        assert_eq!(
+                            probed,
+                            copy.cost(),
+                            "n={n} model={model:?} ({culprit}, {j})"
+                        );
+                    }
+                }
+                assert_eq!(table.values(), &p[..], "probe must not mutate");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_partners_above_fills_only_the_upper_triangle() {
+        let mut rng = default_rng(47);
+        let mut full = Vec::new();
+        let mut upper = Vec::new();
+        for n in [2usize, 5, 11, 16] {
+            let p = one_based(random_permutation(n, &mut rng));
+            let table = ConflictTable::new(&p, CostModel::optimized());
+            for culprit in 0..n {
+                table.probe_partners(culprit, &mut full);
+                table.probe_partners_above(culprit, &mut upper);
+                for j in 0..n {
+                    if j > culprit {
+                        assert_eq!(upper[j], full[j], "n={n} ({culprit}, {j})");
+                    } else {
+                        assert_eq!(upper[j], table.cost(), "n={n} ({culprit}, {j})");
+                    }
+                }
+            }
         }
     }
 

@@ -31,6 +31,7 @@ pub mod construction;
 pub mod cost;
 pub mod counts;
 pub mod enumerate;
+pub mod merge;
 pub mod symmetry;
 pub mod triangle;
 
@@ -40,6 +41,7 @@ pub use construction::{golomb_construction, welch_construction, ConstructionErro
 pub use cost::{ConflictTable, CostModel, ErrWeight, RowSpan};
 pub use counts::{known_costas_count, KNOWN_COUNTS};
 pub use enumerate::{count_costas, enumerate_costas, first_costas, EnumerationStats};
+pub use merge::BucketMerge;
 pub use symmetry::{canonical_form, orbit, Symmetry};
 pub use triangle::DifferenceTriangle;
 

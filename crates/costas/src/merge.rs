@@ -1,0 +1,120 @@
+//! Fixed-capacity bucket-change accumulator for read-only delta evaluation.
+//!
+//! Every read-only probe in this workspace follows the same shape: a swap touches
+//! a handful of histogram buckets / counters, possibly hitting the same bucket
+//! more than once, and the cost delta is a function of each distinct bucket's
+//! *net* count change.  [`BucketMerge`] is the tiny stack-allocated accumulator
+//! they all share: push `(bucket, ±1)` changes, read back the distinct buckets
+//! with non-zero nets.  `N` is the worst-case number of distinct buckets one
+//! probe can touch (known statically per call site), so no allocation happens.
+
+/// Accumulates signed count changes per bucket index, merging duplicates.
+#[derive(Debug, Clone)]
+pub struct BucketMerge<const N: usize> {
+    entries: [(usize, i64); N],
+    len: usize,
+}
+
+impl<const N: usize> BucketMerge<N> {
+    /// Empty accumulator.
+    #[inline]
+    pub fn new() -> Self {
+        Self {
+            entries: [(0, 0); N],
+            len: 0,
+        }
+    }
+
+    /// Add `change` to bucket `idx`, merging with an earlier push of the same
+    /// bucket.
+    ///
+    /// # Panics
+    /// Panics (via debug assertion / slice indexing) when more than `N` distinct
+    /// buckets are pushed — the capacity is a static property of the call site.
+    #[inline]
+    pub fn push(&mut self, idx: usize, change: i64) {
+        match self.entries[..self.len].iter_mut().find(|t| t.0 == idx) {
+            Some(t) => t.1 += change,
+            None => {
+                self.entries[self.len] = (idx, change);
+                self.len += 1;
+            }
+        }
+    }
+
+    /// The distinct buckets with a non-zero net change.
+    #[inline]
+    pub fn nets(&self) -> impl Iterator<Item = (usize, i64)> + '_ {
+        self.entries[..self.len]
+            .iter()
+            .copied()
+            .filter(|&(_, net)| net != 0)
+    }
+
+    /// The value currently stored for `idx`, if any bucket entry exists for it.
+    ///
+    /// Right after a sequence of [`BucketMerge::push`] calls this is the net
+    /// change; once a probe has rewritten the entries through
+    /// [`BucketMerge::entries_mut`] (turning removal counts into post-removal
+    /// baselines), it is that rewritten value — callers decide the meaning.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<i64> {
+        self.entries[..self.len]
+            .iter()
+            .find(|t| t.0 == idx)
+            .map(|t| t.1)
+    }
+
+    /// All recorded entries (including zero nets), mutably.
+    ///
+    /// Probes use this to turn "number of removals" entries into "count after
+    /// removal" baselines in place.
+    #[inline]
+    pub fn entries_mut(&mut self) -> &mut [(usize, i64)] {
+        &mut self.entries[..self.len]
+    }
+}
+
+impl<const N: usize> Default for BucketMerge<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_duplicate_buckets() {
+        let mut m = BucketMerge::<4>::new();
+        m.push(7, -1);
+        m.push(3, 1);
+        m.push(7, 1);
+        m.push(3, 1);
+        let nets: Vec<_> = m.nets().collect();
+        assert_eq!(nets, vec![(3, 2)], "bucket 7 cancelled to net zero");
+        assert_eq!(m.get(7), Some(0));
+        assert_eq!(m.get(99), None);
+    }
+
+    #[test]
+    fn entries_mut_rewrites_values_in_place() {
+        let mut m = BucketMerge::<2>::new();
+        m.push(5, 2);
+        for slot in m.entries_mut() {
+            slot.1 = 41;
+        }
+        assert_eq!(m.get(5), Some(41));
+        assert_eq!(m.nets().collect::<Vec<_>>(), vec![(5, 41)]);
+    }
+
+    #[test]
+    fn capacity_bounds_distinct_buckets() {
+        let mut m = BucketMerge::<2>::new();
+        m.push(1, 1);
+        m.push(2, 1);
+        m.push(1, 1); // duplicate, no new slot
+        assert_eq!(m.nets().count(), 2);
+    }
+}

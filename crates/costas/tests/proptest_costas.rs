@@ -50,6 +50,42 @@ proptest! {
     }
 
     #[test]
+    fn delta_and_probe_agree_with_scratch_under_swaps(
+        perm in arb_permutation(),
+        swaps in proptest::collection::vec((0usize..20, 0usize..20), 0..12),
+    ) {
+        let n = perm.len();
+        for model in [CostModel::basic(), CostModel::optimized()] {
+            let mut table = ConflictTable::new(&perm, model);
+            let mut probe = Vec::new();
+            let mut shadow = perm.clone();
+            for &(a, b) in &swaps {
+                let (i, j) = (a % n, b % n);
+                // read-only per-pair delta vs. the from-scratch oracle
+                let mut swapped = shadow.clone();
+                swapped.swap(i, j);
+                prop_assert_eq!(
+                    table.cost() as i64 + table.delta_for_swap(i, j),
+                    model.global_cost(&swapped) as i64
+                );
+                // batched probe vs. the oracle for every candidate partner
+                table.probe_partners(i, &mut probe);
+                prop_assert_eq!(probe.len(), n);
+                for (candidate, &probed) in probe.iter().enumerate() {
+                    let mut swapped = shadow.clone();
+                    swapped.swap(i, candidate);
+                    prop_assert_eq!(probed, model.global_cost(&swapped));
+                }
+                // the probes left the table untouched
+                prop_assert_eq!(table.values(), &shadow[..]);
+                prop_assert!(table.consistency_check());
+                table.apply_swap(i, j);
+                shadow.swap(i, j);
+            }
+        }
+    }
+
+    #[test]
     fn cost_zero_iff_costas(perm in arb_permutation()) {
         let is_costas = is_costas_permutation(&perm);
         // Basic model over the full triangle: cost 0 ⟺ Costas.
