@@ -22,6 +22,15 @@ pub struct AllIntervalProblem {
     /// `diff_count[d]` = number of adjacent pairs with |difference| = d (1-based).
     diff_count: Vec<u32>,
     cost: u64,
+    /// Maintained per-position errors: every edge of an over-occupied difference
+    /// class charges both of its endpoints.
+    errors: Vec<u64>,
+    /// Sum of the left indices of the edges currently in each difference class.
+    ///
+    /// The error updates only ever need to *identify* a class member when the
+    /// class holds exactly one other edge (occupancy crossing 1 ↔ 2), and that
+    /// member is recoverable from the sum alone — no member lists needed.
+    class_left_sum: Vec<u64>,
 }
 
 impl AllIntervalProblem {
@@ -35,6 +44,8 @@ impl AllIntervalProblem {
             values: (1..=n).collect(),
             diff_count: vec![0; n],
             cost: 0,
+            errors: vec![0; n],
+            class_left_sum: vec![0; n],
         };
         p.rebuild();
         p
@@ -51,6 +62,8 @@ impl AllIntervalProblem {
 
     fn rebuild(&mut self) {
         self.diff_count.iter_mut().for_each(|c| *c = 0);
+        self.class_left_sum.iter_mut().for_each(|s| *s = 0);
+        self.errors.iter_mut().for_each(|e| *e = 0);
         self.cost = 0;
         for left in 0..self.n().saturating_sub(1) {
             let d = self.adjacent_diff(left);
@@ -58,23 +71,69 @@ impl AllIntervalProblem {
                 self.cost += 1;
             }
             self.diff_count[d] += 1;
+            self.class_left_sum[d] += left as u64;
+        }
+        for left in 0..self.n().saturating_sub(1) {
+            let d = self.adjacent_diff(left);
+            if self.diff_count[d] > 1 {
+                self.errors[left] += 1;
+                self.errors[left + 1] += 1;
+            }
         }
     }
 
     fn remove_edge(&mut self, left: usize) {
         let d = self.adjacent_diff(left);
-        self.diff_count[d] -= 1;
-        if self.diff_count[d] > 0 {
+        let c = self.diff_count[d];
+        self.diff_count[d] = c - 1;
+        self.class_left_sum[d] -= left as u64;
+        if c > 1 {
             self.cost -= 1;
+            // the removed edge was in an over-occupied class: uncharge it
+            self.errors[left] -= 1;
+            self.errors[left + 1] -= 1;
+            if c == 2 {
+                // the class drops to a single edge, which stops being charged;
+                // the left-sum is exactly that remaining edge now
+                let other = self.class_left_sum[d] as usize;
+                self.errors[other] -= 1;
+                self.errors[other + 1] -= 1;
+            }
         }
     }
 
     fn add_edge(&mut self, left: usize) {
         let d = self.adjacent_diff(left);
-        if self.diff_count[d] > 0 {
+        let c = self.diff_count[d];
+        if c > 0 {
             self.cost += 1;
+            self.errors[left] += 1;
+            self.errors[left + 1] += 1;
+            if c == 1 {
+                // the class crosses into over-occupancy: the edge that was alone
+                // in it (identified by the left-sum) becomes charged too
+                let other = self.class_left_sum[d] as usize;
+                self.errors[other] += 1;
+                self.errors[other + 1] += 1;
+            }
         }
-        self.diff_count[d] += 1;
+        self.diff_count[d] = c + 1;
+        self.class_left_sum[d] += left as u64;
+    }
+
+    /// Debug helper: does the maintained error vector match a recompute from the
+    /// current configuration?
+    fn errors_consistency_check(&self) -> bool {
+        let n = self.n();
+        let mut expected = vec![0u64; n];
+        for left in 0..n.saturating_sub(1) {
+            let d = self.adjacent_diff(left);
+            if self.diff_count[d] > 1 {
+                expected[left] += 1;
+                expected[left + 1] += 1;
+            }
+        }
+        expected == self.errors
     }
 
     /// Edges (left indices of adjacent pairs) affected by changing positions i and
@@ -147,18 +206,14 @@ impl PermutationProblem for AllIntervalProblem {
     }
 
     fn variable_errors(&self, out: &mut Vec<u64>) {
-        let n = self.n();
+        // every extra occupant of a difference class is an error charged to both
+        // endpoints of the pair; the vector is maintained across swaps
         out.clear();
-        out.resize(n, 0);
-        for left in 0..n.saturating_sub(1) {
-            let d = self.adjacent_diff(left);
-            // every extra occupant of a difference class is an error charged to both
-            // endpoints of the pair
-            if self.diff_count[d] > 1 {
-                out[left] += 1;
-                out[left + 1] += 1;
-            }
-        }
+        out.extend_from_slice(&self.errors);
+    }
+
+    fn cached_errors(&self) -> Option<&[u64]> {
+        Some(&self.errors)
     }
 
     /// O(1): a swap only changes the ≤ 4 adjacent differences whose edges touch
@@ -286,6 +341,10 @@ impl PermutationProblem for AllIntervalProblem {
         for &e in &edges[..edge_count] {
             self.add_edge(e);
         }
+        debug_assert!(
+            self.errors_consistency_check(),
+            "maintained error vector diverged after swap ({i}, {j})"
+        );
     }
 
     fn name(&self) -> &'static str {

@@ -70,7 +70,10 @@ pub struct CostasProblem {
     // scratch buffers for the reset procedure
     scratch: Vec<usize>,
     best_candidate: Vec<usize>,
-    errors_scratch: Vec<u64>,
+    cost_scratch: Vec<u32>,
+    chain_a: Vec<usize>,
+    chain_b: Vec<usize>,
+    erroneous: Vec<usize>,
 }
 
 impl CostasProblem {
@@ -91,7 +94,10 @@ impl CostasProblem {
             config,
             scratch: vec![0; n],
             best_candidate: vec![0; n],
-            errors_scratch: Vec::with_capacity(n),
+            cost_scratch: Vec::with_capacity(2 * n),
+            chain_a: vec![0; n],
+            chain_b: vec![0; n],
+            erroneous: Vec::with_capacity(n),
         }
     }
 
@@ -105,16 +111,18 @@ impl CostasProblem {
         self.table.order()
     }
 
-    /// Cost of an arbitrary candidate configuration under this model (used by the
-    /// reset procedure; does not change the current configuration).
-    fn candidate_cost(&self, candidate: &[usize]) -> u64 {
-        self.table.model().global_cost(candidate)
-    }
-
     /// Evaluate one candidate: adopt it immediately if strictly better than
     /// `entry_cost`, otherwise remember it if it beats (or, with a coin flip, ties)
     /// the best candidate so far.  Returns `true` when the candidate was adopted
     /// (early escape).
+    ///
+    /// The evaluation is *bounded*: a candidate only matters below `entry_cost`
+    /// (immediate adoption) or at/below `best_cost` (best-so-far tracking, ties
+    /// included), so the sweep aborts — through the reusable histogram scratch,
+    /// allocation-free — as soon as its partial cost provably exceeds both
+    /// thresholds.  An aborted candidate takes none of the branches below
+    /// (including the tie coin flip), so the observable behaviour, random stream
+    /// included, is identical to a full evaluation.
     fn consider_candidate(
         &mut self,
         candidate: &[usize],
@@ -122,7 +130,12 @@ impl CostasProblem {
         best_cost: &mut u64,
         rng: &mut dyn Rng64,
     ) -> bool {
-        let cost = self.candidate_cost(candidate);
+        let model = *self.table.model();
+        let limit = entry_cost.saturating_sub(1).max(*best_cost);
+        let cost = match model.global_cost_bounded(candidate, limit, &mut self.cost_scratch) {
+            Some(cost) => cost,
+            None => return false, // provably > limit: neither adopted nor best
+        };
         if cost < entry_cost {
             self.table.reset_to(candidate);
             return true;
@@ -139,8 +152,17 @@ impl CostasProblem {
 
     /// Perturbation family 1: circular shifts of sub-arrays anchored at `m`.
     ///
-    /// Writes each candidate into `self.scratch` and dispatches to
-    /// [`Self::consider_candidate`].  Returns `true` on early escape.
+    /// The candidates are evaluated in the fixed order the paper lists them —
+    /// sub-arrays `[m..=hi]` for increasing `hi`, then `[lo..=m]` for increasing
+    /// `lo`, left rotation before right rotation — but each candidate buffer is
+    /// *advanced* instead of rebuilt: consecutive rotations of nested ranges
+    /// differ by exactly one transposition
+    /// (`rotl [m..=hi+1] = swap(hi, hi+1) ∘ rotl [m..=hi]`,
+    /// `rotr [m..=hi+1] = swap(m, hi+1) ∘ rotr [m..=hi]`,
+    /// `rotl [lo+1..=m] = swap(lo, m) ∘ rotl [lo..=m]`,
+    /// `rotr [lo+1..=m] = swap(lo, lo+1) ∘ rotr [lo..=m]`),
+    /// so producing each of the ≈ 2n candidates is O(1) instead of O(n).
+    /// Returns `true` on early escape.
     fn try_anchored_shifts(
         &mut self,
         m: usize,
@@ -149,32 +171,51 @@ impl CostasProblem {
         rng: &mut dyn Rng64,
     ) -> bool {
         let n = self.order();
-        let current = self.table.values().to_vec();
-        let mut scratch = std::mem::take(&mut self.scratch);
-        // Sub-arrays [lo..=hi] with lo == m (starting at m) or hi == m (ending at m).
-        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(n);
-        for hi in (m + 1)..n {
-            ranges.push((m, hi));
-        }
-        for lo in 0..m {
-            ranges.push((lo, m));
-        }
+        let mut left_chain = std::mem::take(&mut self.chain_a);
+        let mut right_chain = std::mem::take(&mut self.chain_b);
         let mut escaped = false;
-        'outer: for &(lo, hi) in &ranges {
-            for right in [false, true] {
-                scratch.copy_from_slice(&current);
-                if right {
-                    scratch[lo..=hi].rotate_right(1);
+        'outer: {
+            // Sub-arrays [m..=hi] for hi ascending.
+            left_chain.copy_from_slice(self.table.values());
+            right_chain.copy_from_slice(self.table.values());
+            for hi in (m + 1)..n {
+                if hi == m + 1 {
+                    // both rotations of a two-element range are the same swap
+                    left_chain.swap(m, m + 1);
+                    right_chain.swap(m, m + 1);
                 } else {
-                    scratch[lo..=hi].rotate_left(1);
+                    left_chain.swap(hi - 1, hi);
+                    right_chain.swap(m, hi);
                 }
-                if self.consider_candidate(&scratch, entry_cost, best_cost, rng) {
+                if self.consider_candidate(&left_chain, entry_cost, best_cost, rng)
+                    || self.consider_candidate(&right_chain, entry_cost, best_cost, rng)
+                {
                     escaped = true;
                     break 'outer;
                 }
             }
+            // Sub-arrays [lo..=m] for lo ascending.
+            if m >= 1 {
+                left_chain.copy_from_slice(self.table.values());
+                left_chain[0..=m].rotate_left(1);
+                right_chain.copy_from_slice(self.table.values());
+                right_chain[0..=m].rotate_right(1);
+                for lo in 0..m {
+                    if lo > 0 {
+                        left_chain.swap(lo - 1, m);
+                        right_chain.swap(lo - 1, lo);
+                    }
+                    if self.consider_candidate(&left_chain, entry_cost, best_cost, rng)
+                        || self.consider_candidate(&right_chain, entry_cost, best_cost, rng)
+                    {
+                        escaped = true;
+                        break 'outer;
+                    }
+                }
+            }
         }
-        self.scratch = scratch;
+        self.chain_a = left_chain;
+        self.chain_b = right_chain;
         escaped
     }
 
@@ -186,20 +227,29 @@ impl CostasProblem {
         rng: &mut dyn Rng64,
     ) -> bool {
         let n = self.order();
-        let current = self.table.values().to_vec();
         let mut scratch = std::mem::take(&mut self.scratch);
-        let mut constants: Vec<usize> = vec![1, 2];
-        if n >= 3 {
-            constants.push(n - 2);
-        }
+        // the historical constant sequence: 1, 2, n−2, n−3 (n ≥ 4 only for the
+        // last), multiples of n dropped, *consecutive* duplicates collapsed —
+        // kept verbatim so trajectories are unchanged, allocation aside
+        let mut raw = [1, 2, n - 2, 0usize];
+        let mut raw_len = 3;
         if n >= 4 {
-            constants.push(n - 3);
+            raw[3] = n - 3;
+            raw_len = 4;
         }
-        constants.retain(|&c| c % n != 0);
-        constants.dedup();
+        let mut constants = [0usize; 4];
+        let mut num_constants = 0;
+        for &c in &raw[..raw_len] {
+            if c % n != 0 && (num_constants == 0 || constants[num_constants - 1] != c) {
+                constants[num_constants] = c;
+                num_constants += 1;
+            }
+        }
         let mut escaped = false;
-        for &c in &constants {
-            for (dst, &src) in scratch.iter_mut().zip(current.iter()) {
+        for &c in &constants[..num_constants] {
+            // the table's values are unchanged until a candidate is adopted, at
+            // which point the loop exits — so re-reading them per constant is safe
+            for (dst, &src) in scratch.iter_mut().zip(self.table.values()) {
                 *dst = (src - 1 + c) % n + 1;
             }
             if self.consider_candidate(&scratch, entry_cost, best_cost, rng) {
@@ -220,16 +270,19 @@ impl CostasProblem {
         best_cost: &mut u64,
         rng: &mut dyn Rng64,
     ) -> bool {
-        let current = self.table.values().to_vec();
-        self.table.variable_errors(&mut self.errors_scratch);
-        let erroneous: Vec<usize> = self
-            .errors_scratch
-            .iter()
-            .enumerate()
-            .filter(|&(i, &e)| e > 0 && i != m)
-            .map(|(i, _)| i)
-            .collect();
+        // the maintained per-position error vector — no recompute, no sweep
+        let mut erroneous = std::mem::take(&mut self.erroneous);
+        erroneous.clear();
+        erroneous.extend(
+            self.table
+                .errors()
+                .iter()
+                .enumerate()
+                .filter(|&(i, &e)| e > 0 && i != m)
+                .map(|(i, _)| i),
+        );
         if erroneous.is_empty() {
+            self.erroneous = erroneous;
             return false;
         }
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -240,7 +293,8 @@ impl CostasProblem {
             if pick == 0 {
                 continue; // a prefix of length one cannot be shifted
             }
-            scratch.copy_from_slice(&current);
+            // values are unchanged until a candidate is adopted (which exits)
+            scratch.copy_from_slice(self.table.values());
             scratch[0..=pick].rotate_left(1);
             if self.consider_candidate(&scratch, entry_cost, best_cost, rng) {
                 escaped = true;
@@ -248,6 +302,7 @@ impl CostasProblem {
             }
         }
         self.scratch = scratch;
+        self.erroneous = erroneous;
         escaped
     }
 }
@@ -271,6 +326,10 @@ impl PermutationProblem for CostasProblem {
 
     fn variable_errors(&self, out: &mut Vec<u64>) {
         self.table.variable_errors(out);
+    }
+
+    fn cached_errors(&self) -> Option<&[u64]> {
+        Some(self.table.errors())
     }
 
     fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
@@ -413,6 +472,113 @@ mod tests {
             escapes * 10 >= trials,
             "expected ≥10% strict escapes from random configurations, got {escapes}/{trials}"
         );
+    }
+
+    #[test]
+    fn rotation_chain_identities_hold() {
+        // The transposition identities try_anchored_shifts advances its candidate
+        // buffers by, checked against materialised rotations.
+        for n in [2usize, 3, 5, 8, 13] {
+            let base = random_config(n, 41 + n as u64);
+            for m in 0..n {
+                let mut left = base.clone();
+                let mut right = base.clone();
+                for hi in (m + 1)..n {
+                    if hi == m + 1 {
+                        left.swap(m, m + 1);
+                        right.swap(m, m + 1);
+                    } else {
+                        left.swap(hi - 1, hi);
+                        right.swap(m, hi);
+                    }
+                    let mut expect = base.clone();
+                    expect[m..=hi].rotate_left(1);
+                    assert_eq!(left, expect, "rotl [{m}..={hi}] of order {n}");
+                    let mut expect = base.clone();
+                    expect[m..=hi].rotate_right(1);
+                    assert_eq!(right, expect, "rotr [{m}..={hi}] of order {n}");
+                }
+                if m >= 1 {
+                    let mut left = base.clone();
+                    left[0..=m].rotate_left(1);
+                    let mut right = base.clone();
+                    right[0..=m].rotate_right(1);
+                    for lo in 0..m {
+                        if lo > 0 {
+                            left.swap(lo - 1, m);
+                            right.swap(lo - 1, lo);
+                        }
+                        let mut expect = base.clone();
+                        expect[lo..=m].rotate_left(1);
+                        assert_eq!(left, expect, "rotl [{lo}..={m}] of order {n}");
+                        let mut expect = base.clone();
+                        expect[lo..=m].rotate_right(1);
+                        assert_eq!(right, expect, "rotr [{lo}..={m}] of order {n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_reset_lands_in_the_legal_perturbation_set() {
+        // Whatever the reset procedure adopts must be one of the paper's
+        // perturbations of the entry configuration: an anchored sub-array
+        // rotation, a circular constant addition, or a prefix left-shift.
+        let mut rng = default_rng(23);
+        for n in [5usize, 9, 13] {
+            let mut p = CostasProblem::new(n);
+            for seed in 0..30u64 {
+                let entry = random_config(n, seed * 131 + n as u64);
+                p.set_configuration(&entry);
+                let mut errs = Vec::new();
+                p.variable_errors(&mut errs);
+                let m = errs
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, e)| *e)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let mut legal: Vec<Vec<usize>> = Vec::new();
+                for hi in (m + 1)..n {
+                    for right in [false, true] {
+                        let mut c = entry.clone();
+                        if right {
+                            c[m..=hi].rotate_right(1);
+                        } else {
+                            c[m..=hi].rotate_left(1);
+                        }
+                        legal.push(c);
+                    }
+                }
+                for lo in 0..m {
+                    for right in [false, true] {
+                        let mut c = entry.clone();
+                        if right {
+                            c[lo..=m].rotate_right(1);
+                        } else {
+                            c[lo..=m].rotate_left(1);
+                        }
+                        legal.push(c);
+                    }
+                }
+                for add in 1..n {
+                    let c: Vec<usize> = entry.iter().map(|&v| (v - 1 + add) % n + 1).collect();
+                    legal.push(c);
+                }
+                for pick in 1..n {
+                    let mut c = entry.clone();
+                    c[0..=pick].rotate_left(1);
+                    legal.push(c);
+                }
+                let reported = p.custom_reset(m, &mut rng).expect("dedicated reset");
+                assert!(
+                    legal.iter().any(|c| c == p.configuration()),
+                    "n={n} seed={seed}: reset landed outside the perturbation set"
+                );
+                assert_eq!(reported, p.global_cost());
+            }
+        }
     }
 
     #[test]

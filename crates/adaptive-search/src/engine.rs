@@ -11,6 +11,7 @@
 //!   in the `multiwalk` crate interleaves thousands of walks this way on a single
 //!   host while keeping their iteration counts as the (machine-independent) clock.
 
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use xrand::{default_rng, random_permutation, DefaultRng, RandExt};
@@ -74,6 +75,22 @@ pub struct Engine<P: PermutationProblem> {
     errors: Vec<u64>,
     ties: Vec<usize>,
     probe: Vec<u64>,
+    // --- culprit-selection cache (running max-error) ---------------------------
+    /// Nothing mutated the configuration since the last culprit selection: the
+    /// error vector — and with it `culprit_best_err` / `culprit_ties` — is still
+    /// exact, so the next selection can be served by patching the carried tie set
+    /// for Tabu transitions instead of rescanning all `n` variables.
+    select_cache_valid: bool,
+    /// Iteration at which the carried selection state was computed.
+    select_cache_now: u64,
+    /// The running maximum error at the last selection.
+    culprit_best_err: u64,
+    /// Non-Tabu variables attaining `culprit_best_err`, ascending — exactly the
+    /// tie set a full scan would have produced.
+    culprit_ties: Vec<usize>,
+    /// Pending Tabu expirations `(var, expiry)` in expiry order; lets the fast
+    /// path learn which variables re-enter the candidate pool without scanning.
+    freeze_log: VecDeque<(usize, u64)>,
 }
 
 impl<P: PermutationProblem> Engine<P> {
@@ -103,6 +120,11 @@ impl<P: PermutationProblem> Engine<P> {
             errors: Vec::with_capacity(n),
             ties: Vec::with_capacity(n),
             probe: Vec::with_capacity(n),
+            select_cache_valid: false,
+            select_cache_now: 0,
+            culprit_best_err: 0,
+            culprit_ties: Vec::with_capacity(n),
+            freeze_log: VecDeque::new(),
         };
         engine.randomize_configuration();
         engine
@@ -140,9 +162,17 @@ impl<P: PermutationProblem> Engine<P> {
         perm.iter_mut().for_each(|v| *v += 1);
         self.problem.set_configuration(&perm);
         self.tabu.clear();
+        self.freeze_log.clear();
+        self.select_cache_valid = false;
         self.marked_since_reset = 0;
         self.iterations_since_restart = 0;
         self.note_best();
+    }
+
+    /// Forget the carried culprit-selection state; called whenever the
+    /// configuration (and with it the error vector) may have changed.
+    fn invalidate_select_cache(&mut self) {
+        self.select_cache_valid = false;
     }
 
     /// Record the current configuration if it is the best seen so far.
@@ -150,34 +180,134 @@ impl<P: PermutationProblem> Engine<P> {
         let cost = self.problem.global_cost();
         if cost < self.best_cost {
             self.best_cost = cost;
-            self.best_config = self.problem.configuration().to_vec();
+            // reuse the buffer: improvements are frequent and must not allocate
+            self.best_config.clear();
+            self.best_config
+                .extend_from_slice(self.problem.configuration());
         }
+    }
+
+    /// Full scan of the error vector: write the non-Tabu variables with the largest
+    /// non-zero error into `ties` (ascending) and return that maximum error.
+    fn scan_max_ties(errors: &[u64], tabu: &TabuList, now: u64, ties: &mut Vec<usize>) -> u64 {
+        let mut best_err = 0u64;
+        ties.clear();
+        for (var, &err) in errors.iter().enumerate() {
+            if err == 0 || tabu.is_tabu(var, now) {
+                continue;
+            }
+            if err > best_err {
+                best_err = err;
+                ties.clear();
+                ties.push(var);
+            } else if err == best_err {
+                ties.push(var);
+            }
+        }
+        best_err
     }
 
     /// Select the culprit variable: the non-Tabu variable with the largest projected
     /// error (ties broken uniformly at random).  Returns `None` when every erroneous
     /// variable is currently frozen.
+    ///
+    /// The error vector is read from the problem's maintained cache
+    /// ([`PermutationProblem::cached_errors`]) when available; only implementations
+    /// without one pay the recomputing [`PermutationProblem::variable_errors`], and
+    /// even then only when a mutation happened since the previous selection.
+    ///
+    /// When the previous iteration froze its culprit without mutating the
+    /// configuration (a plateau/local-minimum mark that did not trigger a reset),
+    /// the carried `(culprit_best_err, culprit_ties)` state is still exact up to
+    /// Tabu transitions: the frozen culprit has already been removed, and the only
+    /// variables that can re-enter the pool are those whose tenure expires this
+    /// very iteration — drained from `freeze_log` in O(1) amortised.  A variable
+    /// re-entering at or above the running maximum error is by construction the
+    /// new maximum (every other candidate was already ≤ it); only when the tie set
+    /// empties out does the engine fall back to an O(n) rescan to discover the
+    /// next error level.  The tie semantics and random stream are bit-for-bit
+    /// those of the full scan (cross-checked by a `debug_assert!`).
     fn select_culprit(&mut self) -> Option<usize> {
         let now = self.stats.iterations;
-        self.problem.variable_errors(&mut self.errors);
-        let mut best_err = 0u64;
-        self.ties.clear();
-        for (var, &err) in self.errors.iter().enumerate() {
-            if err == 0 || self.tabu.is_tabu(var, now) {
-                continue;
+        let fast = self.select_cache_valid && now == self.select_cache_now + 1;
+        if !fast && self.problem.cached_errors().is_none() {
+            self.problem.variable_errors(&mut self.errors);
+        }
+        let errors: &[u64] = match self.problem.cached_errors() {
+            Some(cached) => cached,
+            None => &self.errors,
+        };
+        let mut scanned = true;
+        if fast {
+            self.select_cache_now = now;
+            scanned = false;
+            // Variables whose tenure expires exactly now re-enter the pool.
+            while let Some(&(var, until)) = self.freeze_log.front() {
+                if until > now {
+                    break;
+                }
+                self.freeze_log.pop_front();
+                // `until < now` entries were superseded by a re-freeze (checked
+                // via is_tabu) or already accounted for by a full scan.
+                if until == now && !self.tabu.is_tabu(var, now) {
+                    let err = errors[var];
+                    if err == 0 {
+                        continue;
+                    }
+                    if err > self.culprit_best_err
+                        || (self.culprit_ties.is_empty() && err == self.culprit_best_err)
+                    {
+                        self.culprit_best_err = err;
+                        self.culprit_ties.clear();
+                        self.culprit_ties.push(var);
+                    } else if err == self.culprit_best_err {
+                        if let Err(pos) = self.culprit_ties.binary_search(&var) {
+                            self.culprit_ties.insert(pos, var);
+                        }
+                    }
+                }
             }
-            if err > best_err {
-                best_err = err;
-                self.ties.clear();
-                self.ties.push(var);
-            } else if err == best_err {
-                self.ties.push(var);
+            if self.culprit_ties.is_empty() {
+                // The running maximum's level emptied out (its last holders were
+                // frozen) and nothing re-entered at or above it: the next error
+                // level is unknown, rescan.  The error vector itself is still
+                // fresh, so no recompute is needed even on the fallback path.
+                scanned = true;
             }
         }
-        if self.ties.is_empty() {
+        if scanned {
+            self.culprit_best_err =
+                Self::scan_max_ties(errors, &self.tabu, now, &mut self.culprit_ties);
+            self.select_cache_now = now;
+            self.select_cache_valid = true;
+            self.stats.culprit_scans += 1;
+            // Entries at or below `now` are fully reflected in this scan.
+            while let Some(&(_, until)) = self.freeze_log.front() {
+                if until > now {
+                    break;
+                }
+                self.freeze_log.pop_front();
+            }
+        } else {
+            self.stats.culprit_fast_selects += 1;
+            #[cfg(debug_assertions)]
+            {
+                let mut expected = Vec::new();
+                let expected_best = Self::scan_max_ties(errors, &self.tabu, now, &mut expected);
+                debug_assert!(
+                    expected_best == self.culprit_best_err && expected == self.culprit_ties,
+                    "fast culprit selection diverged from the full scan at \
+                     iteration {now}: expected ({expected_best}, {expected:?}), \
+                     got ({}, {:?})",
+                    self.culprit_best_err,
+                    self.culprit_ties
+                );
+            }
+        }
+        if self.culprit_ties.is_empty() {
             None
         } else {
-            Some(self.ties[self.rng.index(self.ties.len())])
+            Some(self.culprit_ties[self.rng.index(self.culprit_ties.len())])
         }
     }
 
@@ -225,6 +355,7 @@ impl<P: PermutationProblem> Engine<P> {
         if n < 2 {
             return;
         }
+        self.invalidate_select_cache();
         let k = ((self.config.reset.reset_percentage * n as f64).ceil() as usize).max(1);
         for _ in 0..k {
             let i = self.rng.index(n);
@@ -244,6 +375,7 @@ impl<P: PermutationProblem> Engine<P> {
     /// other variables.  Only the `RL` counter (marks since the last reset) is reset.
     fn perform_reset(&mut self, culprit: usize) {
         self.stats.resets += 1;
+        self.invalidate_select_cache();
         let entry_cost = self.problem.global_cost();
         let mut handled = false;
         if self.config.reset.use_custom_reset {
@@ -265,6 +397,23 @@ impl<P: PermutationProblem> Engine<P> {
         }
         self.marked_since_reset = 0;
         self.note_best();
+    }
+
+    /// Mark `var` Tabu at iteration `now`, keeping the carried selection state in
+    /// sync: the variable leaves the tie set (it is no longer selectable) and its
+    /// expiry is logged so a later fast selection sees it re-enter the pool.
+    fn freeze_culprit(&mut self, var: usize, now: u64) {
+        self.tabu.freeze(var, now);
+        self.stats.tabu_marks += 1;
+        self.marked_since_reset += 1;
+        // With a zero tenure the freeze is a no-op (the variable was never tabu),
+        // so it must neither leave the tie set nor enter the expiry log.
+        if self.tabu.is_tabu(var, now + 1) {
+            self.freeze_log.push_back((var, now + self.tabu.tenure()));
+            if let Ok(pos) = self.culprit_ties.binary_search(&var) {
+                self.culprit_ties.remove(pos);
+            }
+        }
     }
 
     /// Execute one iteration of the Adaptive Search loop.
@@ -323,24 +472,22 @@ impl<P: PermutationProblem> Engine<P> {
 
         if new_cost < current_cost {
             self.problem.apply_swap(culprit, partner);
+            self.invalidate_select_cache();
             self.stats.improving_moves += 1;
             self.note_best();
         } else if new_cost == current_cost {
             // Plateau (§III-B1): follow with probability p, otherwise freeze.
             if self.rng.bool_with_prob(self.config.plateau_probability) {
                 self.problem.apply_swap(culprit, partner);
+                self.invalidate_select_cache();
                 self.stats.plateau_moves += 1;
             } else {
-                self.tabu.freeze(culprit, now);
-                self.stats.tabu_marks += 1;
-                self.marked_since_reset += 1;
+                self.freeze_culprit(culprit, now);
             }
         } else {
             // Local minimum w.r.t. the culprit's neighbourhood.
             self.stats.local_minima += 1;
-            self.tabu.freeze(culprit, now);
-            self.stats.tabu_marks += 1;
-            self.marked_since_reset += 1;
+            self.freeze_culprit(culprit, now);
         }
 
         // Reset trigger (RL): enough variables marked Tabu since the previous reset.
@@ -462,11 +609,16 @@ impl<P: PermutationProblem> Engine<P> {
         if cost < cost_threshold {
             self.stats.injections_adopted += 1;
             self.tabu.clear();
+            self.freeze_log.clear();
+            self.invalidate_select_cache();
             self.marked_since_reset = 0;
             self.restart_pending = false;
             self.note_best();
             InjectOutcome::Adopted { cost }
         } else {
+            // Restoring the previous configuration rebuilds the exact same
+            // incremental state, so the carried selection cache stays valid and
+            // the walk remains byte-for-byte identical to one without the offer.
             self.problem.set_configuration(&previous);
             InjectOutcome::Rejected { cost }
         }
@@ -737,6 +889,51 @@ mod tests {
         let mut e = Engine::new(SwapCounter::new(1), AsConfig::default(), 3);
         e.generic_random_reset();
         assert_eq!(e.problem().swaps, 0);
+    }
+
+    #[test]
+    fn fast_culprit_selection_is_exercised_and_cross_checked() {
+        // With the paper's RL = 1 every freeze triggers a reset, so the carried
+        // tie set never survives an iteration; a high reset limit produces the
+        // freeze-only iterations the fast path serves.  In this debug build every
+        // fast selection is cross-checked against a full scan by the
+        // debug_assert! inside select_culprit, so this test failing to panic IS
+        // the correctness statement.
+        let config = AsConfig::builder()
+            .reset_limit(64)
+            .plateau_probability(0.2)
+            .tabu_tenure(8)
+            .use_custom_reset(false)
+            .max_iterations(20_000)
+            .build();
+        let mut e = Engine::new(CostasProblem::new(16), config, 33);
+        let r = e.solve();
+        assert!(
+            r.stats.culprit_fast_selects > 0,
+            "expected the fast selection path to fire: {:?}",
+            r.stats
+        );
+        assert!(r.stats.culprit_scans > 0);
+    }
+
+    #[test]
+    fn fast_selection_runs_are_reproducible_and_zero_tenure_is_safe() {
+        for tenure in [0u64, 4] {
+            let config = AsConfig::builder()
+                .reset_limit(32)
+                .plateau_probability(0.5)
+                .tabu_tenure(tenure)
+                .use_custom_reset(false)
+                .max_iterations(5_000)
+                .build();
+            let mut a = Engine::new(CostasProblem::new(13), config.clone(), 7);
+            let mut b = Engine::new(CostasProblem::new(13), config, 7);
+            let ra = a.solve();
+            let rb = b.solve();
+            assert_eq!(ra.solution, rb.solution, "tenure {tenure}");
+            assert_eq!(ra.stats.iterations, rb.stats.iterations);
+            assert_eq!(ra.stats.culprit_fast_selects, rb.stats.culprit_fast_selects);
+        }
     }
 
     #[test]

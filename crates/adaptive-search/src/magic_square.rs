@@ -8,7 +8,10 @@
 //! deviations of every row sum, column sum and the two main diagonal sums from the
 //! magic constant `M = n(n² + 1)/2`.
 //!
-//! Row/column/diagonal sums are maintained incrementally, so a swap costs O(1).
+//! Row/column/diagonal sums are maintained incrementally, so a swap's cost delta is
+//! O(1); the per-cell error vector is maintained alongside them (a swap shifts the
+//! errors of the ≤ 6 lines whose sums change, O(side)), so culprit selection reads
+//! a cached vector instead of recomputing all `side²` entries.
 
 use crate::problem::PermutationProblem;
 
@@ -23,6 +26,10 @@ pub struct MagicSquareProblem {
     diag_anti: i64,
     magic: i64,
     cost: u64,
+    /// Maintained per-cell errors: the summed deviations `|sum − M|` of every line
+    /// the cell sits on.  A swap changes the deviation of at most 6 lines, so the
+    /// vector is patched in O(side) instead of recomputed in O(side²).
+    errors: Vec<u64>,
 }
 
 impl MagicSquareProblem {
@@ -42,6 +49,7 @@ impl MagicSquareProblem {
             diag_anti: 0,
             magic: (side * (n2 + 1) / 2) as i64,
             cost: 0,
+            errors: vec![0; n2],
         };
         p.rebuild();
         p
@@ -95,6 +103,71 @@ impl MagicSquareProblem {
             }
         }
         self.cost = self.compute_cost();
+        self.recompute_errors();
+    }
+
+    /// Rebuild the per-cell error vector from the cached line sums (O(side²)).
+    fn recompute_errors(&mut self) {
+        for idx in 0..self.values.len() {
+            let mut err = (self.row_sums[self.row_of(idx)] - self.magic).unsigned_abs()
+                + (self.col_sums[self.col_of(idx)] - self.magic).unsigned_abs();
+            if self.on_main_diag(idx) {
+                err += (self.diag_main - self.magic).unsigned_abs();
+            }
+            if self.on_anti_diag(idx) {
+                err += (self.diag_anti - self.magic).unsigned_abs();
+            }
+            self.errors[idx] = err;
+        }
+    }
+
+    /// Shift the error of every cell of row `r` by `delta`.
+    fn shift_row_errors(&mut self, r: usize, delta: i64) {
+        if delta != 0 {
+            for idx in r * self.side..(r + 1) * self.side {
+                self.errors[idx] = self.errors[idx].wrapping_add_signed(delta);
+            }
+        }
+    }
+
+    /// Shift the error of every cell of column `c` by `delta`.
+    fn shift_col_errors(&mut self, c: usize, delta: i64) {
+        if delta != 0 {
+            for k in 0..self.side {
+                let idx = k * self.side + c;
+                self.errors[idx] = self.errors[idx].wrapping_add_signed(delta);
+            }
+        }
+    }
+
+    /// Shift the error of every cell of the main diagonal by `delta`.
+    fn shift_main_diag_errors(&mut self, delta: i64) {
+        if delta != 0 {
+            for k in 0..self.side {
+                let idx = k * (self.side + 1);
+                self.errors[idx] = self.errors[idx].wrapping_add_signed(delta);
+            }
+        }
+    }
+
+    /// Shift the error of every cell of the anti-diagonal by `delta`.
+    fn shift_anti_diag_errors(&mut self, delta: i64) {
+        if delta != 0 {
+            for k in 0..self.side {
+                let idx = k * self.side + (self.side - 1 - k);
+                self.errors[idx] = self.errors[idx].wrapping_add_signed(delta);
+            }
+        }
+    }
+
+    /// Debug helper: does the maintained error vector match a recompute from the
+    /// cached line sums?
+    fn errors_consistency_check(&mut self) -> bool {
+        let maintained = self.errors.clone();
+        self.recompute_errors();
+        let ok = maintained == self.errors;
+        self.errors = maintained;
+        ok
     }
 
     fn compute_cost(&self) -> u64 {
@@ -179,18 +252,11 @@ impl PermutationProblem for MagicSquareProblem {
 
     fn variable_errors(&self, out: &mut Vec<u64>) {
         out.clear();
-        out.resize(self.values.len(), 0);
-        for (idx, slot) in out.iter_mut().enumerate() {
-            let mut err = (self.row_sums[self.row_of(idx)] - self.magic).unsigned_abs()
-                + (self.col_sums[self.col_of(idx)] - self.magic).unsigned_abs();
-            if self.on_main_diag(idx) {
-                err += (self.diag_main - self.magic).unsigned_abs();
-            }
-            if self.on_anti_diag(idx) {
-                err += (self.diag_anti - self.magic).unsigned_abs();
-            }
-            *slot = err;
-        }
+        out.extend_from_slice(&self.errors);
+    }
+
+    fn cached_errors(&self) -> Option<&[u64]> {
+        Some(&self.errors)
     }
 
     /// O(1) from the cached row/column/diagonal sums.
@@ -256,11 +322,45 @@ impl PermutationProblem for MagicSquareProblem {
         let new_cost = (self.cost as i64 + self.delta_for_swap(i, j)) as u64;
         let vi = self.values[i] as i64;
         let vj = self.values[j] as i64;
-        self.shift_cell(i, vj - vi);
-        self.shift_cell(j, vi - vj);
+        let d = vj - vi;
+        // Error maintenance: every cell of a line whose sum changes sees its error
+        // shift by that line's deviation change.  Deviations are evaluated against
+        // the pre-swap sums, before `shift_cell` commits the new ones.
+        let (ri, rj) = (self.row_of(i), self.row_of(j));
+        let (ci, cj) = (self.col_of(i), self.col_of(j));
+        let magic = self.magic;
+        let dev = |s: i64| (s - magic).abs();
+        if ri != rj {
+            let delta_i = dev(self.row_sums[ri] + d) - dev(self.row_sums[ri]);
+            let delta_j = dev(self.row_sums[rj] - d) - dev(self.row_sums[rj]);
+            self.shift_row_errors(ri, delta_i);
+            self.shift_row_errors(rj, delta_j);
+        }
+        if ci != cj {
+            let delta_i = dev(self.col_sums[ci] + d) - dev(self.col_sums[ci]);
+            let delta_j = dev(self.col_sums[cj] - d) - dev(self.col_sums[cj]);
+            self.shift_col_errors(ci, delta_i);
+            self.shift_col_errors(cj, delta_j);
+        }
+        let main = i64::from(self.on_main_diag(i)) - i64::from(self.on_main_diag(j));
+        if main != 0 {
+            let delta = dev(self.diag_main + main * d) - dev(self.diag_main);
+            self.shift_main_diag_errors(delta);
+        }
+        let anti = i64::from(self.on_anti_diag(i)) - i64::from(self.on_anti_diag(j));
+        if anti != 0 {
+            let delta = dev(self.diag_anti + anti * d) - dev(self.diag_anti);
+            self.shift_anti_diag_errors(delta);
+        }
+        self.shift_cell(i, d);
+        self.shift_cell(j, -d);
         self.values.swap(i, j);
         self.cost = new_cost;
         debug_assert_eq!(self.cost, self.compute_cost(), "incremental cost diverged");
+        debug_assert!(
+            self.errors_consistency_check(),
+            "maintained error vector diverged after swap ({i}, {j})"
+        );
     }
 
     fn name(&self) -> &'static str {

@@ -12,7 +12,7 @@
 //!
 //! # Evaluation layers
 //!
-//! The trait exposes two evaluation layers:
+//! The trait exposes three evaluation layers:
 //!
 //! * **Read-only probes** — [`PermutationProblem::delta_for_swap`] and the batched
 //!   [`PermutationProblem::probe_partners`] answer "what would this swap cost?"
@@ -20,9 +20,15 @@
 //!   the min-conflict inner loop lives on: for one culprit variable the engine
 //!   probes all `n − 1` candidate partners, and only one of those swaps (at most)
 //!   is ever applied.
+//! * **Error maintenance** — [`PermutationProblem::cached_errors`] exposes the
+//!   per-variable error vector the culprit selection reads each iteration.
+//!   Implementations that maintain it incrementally (all four shipped models do)
+//!   make selection a cheap read; the default (`None`) keeps third-party
+//!   implementations source-compatible, with the engine falling back to the
+//!   recomputing [`PermutationProblem::variable_errors`].
 //! * **Mutation** — [`PermutationProblem::apply_swap`] and
 //!   [`PermutationProblem::set_configuration`] commit a move and update the
-//!   incremental tables.
+//!   incremental tables, including the maintained error vector.
 //!
 //! Keeping the probe layer strictly `&self` both documents the purity contract in
 //! the type system and lets implementations skip the "apply + un-apply" double
@@ -49,7 +55,31 @@ pub trait PermutationProblem {
     /// Per-variable projected errors of the current configuration, written into `out`
     /// (resized to `size()`).  The engine selects the maximum-error variable as the
     /// culprit to repair (paper §III-A).
+    ///
+    /// This is the *recomputing* entry point and the reference for the maintenance
+    /// contract below; implementations that maintain the vector incrementally may
+    /// simply copy their cache here.
     fn variable_errors(&self, out: &mut Vec<u64>);
+
+    /// Borrowed view of an **incrementally maintained** per-variable error vector,
+    /// or `None` when the implementation does not maintain one.
+    ///
+    /// **Maintenance contract:** when `Some`, the returned slice must have length
+    /// [`PermutationProblem::size`] and be *exactly* equal — after any sequence of
+    /// [`PermutationProblem::apply_swap`] / [`PermutationProblem::set_configuration`]
+    /// calls (the engine's swap, reset and injection paths all reduce to those) —
+    /// to what [`PermutationProblem::variable_errors`] recomputes from scratch.
+    /// The engine reads this slice every iteration to select the culprit variable,
+    /// so a stale entry silently corrupts the search; the shipped models enforce
+    /// the contract with `debug_assert!` cross-checks in their apply paths and
+    /// property tests against from-scratch oracles.
+    ///
+    /// The default returns `None`, keeping pre-existing third-party
+    /// implementations source-compatible: the engine then falls back to the
+    /// recomputing `variable_errors`.
+    fn cached_errors(&self) -> Option<&[u64]> {
+        None
+    }
 
     /// Signed change in global cost a swap of positions `i` and `j` would cause
     /// (`cost_after − cost_before`); `0` when `i == j`.
@@ -224,5 +254,13 @@ mod tests {
         let mut rng = xrand::default_rng(1);
         assert_eq!(p.custom_reset(0, &mut rng), None);
         assert_eq!(PermutationProblem::name(&p), "sorting");
+    }
+
+    #[test]
+    fn default_cached_errors_is_none() {
+        // Implementations that predate the error-maintenance layer compile
+        // unchanged and fall back to the recomputing variable_errors.
+        let p = SortingProblem::new(4);
+        assert!(p.cached_errors().is_none());
     }
 }

@@ -8,6 +8,11 @@
 //!
 //! The implementation maintains per-diagonal occupancy counters so cost updates are
 //! O(1) per swap — the same incremental philosophy as the Costas conflict table.
+//! Alongside the counters it keeps per-diagonal member sets and a maintained
+//! per-column error vector: a swap only changes the occupancy of ≤ 8 diagonals, so
+//! the errors of the queens on those diagonals are patched in place (expected O(1)
+//! per swap) and culprit selection reads the cached vector instead of recomputing
+//! all `n` entries.
 
 use costas::BucketMerge;
 
@@ -22,6 +27,13 @@ pub struct QueensProblem {
     /// Occupancy of the `2n − 1` "difference" diagonals (`row − col + n − 1`).
     diag_diff: Vec<u32>,
     cost: u64,
+    /// Maintained per-column errors: a queen on a diagonal with `k` occupants
+    /// participates in `k − 1` conflicts, summed over her two diagonals.
+    errors: Vec<u64>,
+    /// Columns currently sitting on each "sum" diagonal (unsorted).
+    sum_members: Vec<Vec<u32>>,
+    /// Columns currently sitting on each "difference" diagonal (unsorted).
+    diff_members: Vec<Vec<u32>>,
 }
 
 impl QueensProblem {
@@ -37,6 +49,9 @@ impl QueensProblem {
             diag_sum: vec![0; 2 * n - 1],
             diag_diff: vec![0; 2 * n - 1],
             cost: 0,
+            errors: vec![0; n],
+            sum_members: vec![Vec::new(); 2 * n - 1],
+            diff_members: vec![Vec::new(); 2 * n - 1],
         };
         p.rebuild();
         p
@@ -61,6 +76,8 @@ impl QueensProblem {
     fn rebuild(&mut self) {
         self.diag_sum.iter_mut().for_each(|c| *c = 0);
         self.diag_diff.iter_mut().for_each(|c| *c = 0);
+        self.sum_members.iter_mut().for_each(|m| m.clear());
+        self.diff_members.iter_mut().for_each(|m| m.clear());
         self.cost = 0;
         for col in 0..self.n() {
             let s = self.sum_index(col);
@@ -68,25 +85,66 @@ impl QueensProblem {
             self.cost += u64::from(self.diag_sum[s]) + u64::from(self.diag_diff[d]);
             self.diag_sum[s] += 1;
             self.diag_diff[d] += 1;
+            self.sum_members[s].push(col as u32);
+            self.diff_members[d].push(col as u32);
+        }
+        self.errors.iter_mut().for_each(|e| *e = 0);
+        for col in 0..self.n() {
+            let s = self.sum_index(col);
+            let d = self.diff_index(col);
+            self.errors[col] = u64::from(self.diag_sum[s] - 1) + u64::from(self.diag_diff[d] - 1);
         }
     }
 
-    /// Remove column `col`'s queen from the diagonal counters.
-    fn remove(&mut self, col: usize) {
+    /// Remove column `col`'s queen from the diagonal counters, member sets and the
+    /// error vector.  `errors[col]` is left stale until the matching
+    /// [`QueensProblem::attach`].
+    fn detach(&mut self, col: usize) {
         let s = self.sum_index(col);
         let d = self.diff_index(col);
+        let colu = col as u32;
+        let m = &mut self.sum_members[s];
+        m.swap_remove(m.iter().position(|&c| c == colu).expect("queen tracked"));
         self.diag_sum[s] -= 1;
+        for &c in &self.sum_members[s] {
+            self.errors[c as usize] -= 1;
+        }
+        let m = &mut self.diff_members[d];
+        m.swap_remove(m.iter().position(|&c| c == colu).expect("queen tracked"));
         self.diag_diff[d] -= 1;
+        for &c in &self.diff_members[d] {
+            self.errors[c as usize] -= 1;
+        }
         self.cost -= u64::from(self.diag_sum[s]) + u64::from(self.diag_diff[d]);
     }
 
-    /// Add column `col`'s queen to the diagonal counters.
-    fn add(&mut self, col: usize) {
+    /// Add column `col`'s queen to the diagonal counters, member sets and the
+    /// error vector (recomputing `errors[col]` from the updated occupancies).
+    fn attach(&mut self, col: usize) {
         let s = self.sum_index(col);
         let d = self.diff_index(col);
         self.cost += u64::from(self.diag_sum[s]) + u64::from(self.diag_diff[d]);
+        for &c in &self.sum_members[s] {
+            self.errors[c as usize] += 1;
+        }
+        self.sum_members[s].push(col as u32);
         self.diag_sum[s] += 1;
+        for &c in &self.diff_members[d] {
+            self.errors[c as usize] += 1;
+        }
+        self.diff_members[d].push(col as u32);
         self.diag_diff[d] += 1;
+        self.errors[col] = u64::from(self.diag_sum[s] - 1) + u64::from(self.diag_diff[d] - 1);
+    }
+
+    /// Debug helper: does the maintained error vector match a recompute from the
+    /// diagonal occupancies?
+    fn errors_consistency_check(&self) -> bool {
+        (0..self.n()).all(|col| {
+            let s = self.sum_index(col);
+            let d = self.diff_index(col);
+            self.errors[col] == u64::from(self.diag_sum[s] - 1) + u64::from(self.diag_diff[d] - 1)
+        })
     }
 
     /// Conflicts a diagonal with `c` occupants contributes: `C(c, 2)`.
@@ -146,15 +204,12 @@ impl PermutationProblem for QueensProblem {
     }
 
     fn variable_errors(&self, out: &mut Vec<u64>) {
-        let n = self.n();
         out.clear();
-        out.resize(n, 0);
-        for (col, slot) in out.iter_mut().enumerate() {
-            let s = self.sum_index(col);
-            let d = self.diff_index(col);
-            // a queen on a diagonal with k occupants participates in k − 1 conflicts
-            *slot = u64::from(self.diag_sum[s] - 1) + u64::from(self.diag_diff[d] - 1);
-        }
+        out.extend_from_slice(&self.errors);
+    }
+
+    fn cached_errors(&self) -> Option<&[u64]> {
+        Some(&self.errors)
     }
 
     /// O(1): only the ≤ 4 diagonals of each family touched by the two queens can
@@ -249,11 +304,15 @@ impl PermutationProblem for QueensProblem {
         if i == j {
             return;
         }
-        self.remove(i);
-        self.remove(j);
+        self.detach(i);
+        self.detach(j);
         self.values.swap(i, j);
-        self.add(i);
-        self.add(j);
+        self.attach(i);
+        self.attach(j);
+        debug_assert!(
+            self.errors_consistency_check(),
+            "maintained error vector diverged after swap ({i}, {j})"
+        );
     }
 
     fn name(&self) -> &'static str {

@@ -8,7 +8,11 @@
 //! * `probe_partners(culprit, ..)` agrees with the per-pair deltas for every
 //!   candidate partner,
 //! * neither probe observably mutates the problem,
-//! * the incremental cost after `apply_swap` agrees with a from-scratch rebuild.
+//! * the incremental cost after `apply_swap` agrees with a from-scratch rebuild,
+//! * the maintained per-variable error vector (`cached_errors` /
+//!   `variable_errors`) agrees with a from-scratch recompute — also along
+//!   sequences mixing swaps with resets/injections (`set_configuration`, which is
+//!   what the engine's reset and injection paths reduce to).
 //!
 //! "From scratch" means a *fresh* problem instance fed the candidate configuration
 //! through `set_configuration`, so the oracle never shares incremental state with
@@ -85,6 +89,58 @@ fn check_probe_contract<P: PermutationProblem>(
         // Committing the swap keeps the incremental cost consistent.
         problem.apply_swap(i, j);
         assert_eq!(problem.global_cost(), oracle as u64);
+        assert_errors_match_scratch(&factory, &problem, &format!("step {step}"));
+    }
+}
+
+/// Assert the maintained error vector equals the from-scratch recompute of a
+/// fresh instance fed the same configuration.
+fn assert_errors_match_scratch<P: PermutationProblem>(
+    factory: &impl Fn() -> P,
+    problem: &P,
+    context: &str,
+) {
+    let mut expected = Vec::new();
+    let mut fresh = factory();
+    fresh.set_configuration(problem.configuration());
+    fresh.variable_errors(&mut expected);
+    let mut copied = Vec::new();
+    problem.variable_errors(&mut copied);
+    assert_eq!(
+        copied, expected,
+        "variable_errors diverged from the from-scratch recompute ({context})"
+    );
+    if let Some(cached) = problem.cached_errors() {
+        assert_eq!(
+            cached,
+            &expected[..],
+            "cached_errors diverged from the from-scratch recompute ({context})"
+        );
+    }
+}
+
+/// Drive one model through a mixed swap / reset / injection sequence, checking
+/// the error-maintenance contract after every operation.  An op with `tag == 0`
+/// installs a fresh random permutation through `set_configuration` — exactly what
+/// the engine's restart, custom-reset adoption and elite-injection paths do.
+fn check_error_maintenance<P: PermutationProblem>(
+    factory: impl Fn() -> P,
+    seed: u64,
+    ops: &[(u8, usize, usize)],
+) {
+    let mut problem = factory();
+    let n = problem.size();
+    problem.set_configuration(&random_configuration(n, seed));
+    assert_errors_match_scratch(&factory, &problem, "initial configuration");
+    for (step, &(tag, a, b)) in ops.iter().enumerate() {
+        if tag % 8 == 0 {
+            // reset / injection: a fresh configuration replaces the current one
+            let fresh = random_configuration(n, seed ^ (step as u64).wrapping_mul(0x9e37));
+            problem.set_configuration(&fresh);
+        } else {
+            problem.apply_swap(a % n, b % n);
+        }
+        assert_errors_match_scratch(&factory, &problem, &format!("op {step} tag {tag}"));
     }
 }
 
@@ -127,5 +183,41 @@ proptest! {
         swaps in proptest::collection::vec((0usize..64, 0usize..64), 1..16),
     ) {
         check_probe_contract(|| MagicSquareProblem::new(side), seed, &swaps);
+    }
+
+    #[test]
+    fn costas_errors_survive_swap_reset_inject_sequences(
+        n in 2usize..=18,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 1..40),
+    ) {
+        check_error_maintenance(|| CostasProblem::new(n), seed, &ops);
+    }
+
+    #[test]
+    fn queens_errors_survive_swap_reset_inject_sequences(
+        n in 2usize..=32,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 1..40),
+    ) {
+        check_error_maintenance(|| QueensProblem::new(n), seed, &ops);
+    }
+
+    #[test]
+    fn all_interval_errors_survive_swap_reset_inject_sequences(
+        n in 2usize..=32,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 1..40),
+    ) {
+        check_error_maintenance(|| AllIntervalProblem::new(n), seed, &ops);
+    }
+
+    #[test]
+    fn magic_square_errors_survive_swap_reset_inject_sequences(
+        side in 2usize..=6,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 1..40),
+    ) {
+        check_error_maintenance(|| MagicSquareProblem::new(side), seed, &ops);
     }
 }

@@ -56,7 +56,7 @@ impl CostasSolver for RandomRestartHillClimbing {
         let mut best_values: Vec<usize> = Vec::new();
         // scratch buffers reused across climbs
         let mut probe: Vec<u64> = Vec::with_capacity(n);
-        let mut errors: Vec<u64> = Vec::with_capacity(n);
+        let mut conflicted: Vec<usize> = Vec::with_capacity(n);
 
         'outer: loop {
             // fresh random configuration
@@ -79,14 +79,18 @@ impl CostasSolver for RandomRestartHillClimbing {
                 if climb_moves >= self.config.max_moves_per_climb {
                     break;
                 }
-                // pick a random conflicted variable and its best swap partner
-                table.variable_errors(&mut errors);
-                let conflicted: Vec<usize> = errors
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &e)| e > 0)
-                    .map(|(i, _)| i)
-                    .collect();
+                // pick a random conflicted variable and its best swap partner;
+                // the per-variable errors are read straight from the conflict
+                // table's incrementally maintained vector (no recompute sweep)
+                conflicted.clear();
+                conflicted.extend(
+                    table
+                        .errors()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &e)| e > 0)
+                        .map(|(i, _)| i),
+                );
                 if conflicted.is_empty() {
                     break;
                 }

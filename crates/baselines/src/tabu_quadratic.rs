@@ -7,6 +7,9 @@
 //! and marks the moved pair tabu for a fixed tenure.  This is a strong but expensive
 //! baseline: its per-iteration cost is an order of magnitude higher than Adaptive
 //! Search's culprit-directed neighbourhood, which is one of the reasons AS wins.
+//! The quadratic sweep is error-blind by design (every pair is probed regardless of
+//! projected error), so unlike AS and the hill climber it reads only the cost side
+//! of the maintained [`ConflictTable`].
 
 use std::time::Instant;
 

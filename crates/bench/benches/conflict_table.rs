@@ -74,12 +74,41 @@ fn bench_conflict_table(c: &mut Criterion) {
             b.iter(|| black_box(model.global_cost(&perm)));
         });
 
-        group.bench_with_input(BenchmarkId::new("variable_errors", n), &n, |b, _| {
+        // The selection input, as the engine now reads it: a copy of the
+        // incrementally maintained per-position error vector.
+        group.bench_with_input(BenchmarkId::new("variable_errors_cached", n), &n, |b, _| {
             let table = ConflictTable::new(&perm, model);
             let mut out = Vec::new();
             b.iter(|| {
                 table.variable_errors(&mut out);
                 black_box(out.len())
+            });
+        });
+
+        // What the cached read replaced: the from-scratch O(n·d_max) histogram
+        // sweep (scratch-buffer variant, so the comparison is sweep vs. read, not
+        // sweep+malloc vs. read).
+        group.bench_with_input(
+            BenchmarkId::new("variable_errors_scratch", n),
+            &n,
+            |b, _| {
+                let mut out = Vec::new();
+                let mut scratch = Vec::new();
+                b.iter(|| {
+                    model.variable_errors_with(&perm, &mut out, &mut scratch);
+                    black_box(out.len())
+                });
+            },
+        );
+
+        // The apply path, which now also maintains the error vector; tracks the
+        // maintenance overhead against the probe-side savings.
+        group.bench_with_input(BenchmarkId::new("apply_swap", n), &n, |b, _| {
+            let mut table = ConflictTable::new(&perm, model);
+            let mut rng = default_rng(11);
+            b.iter(|| {
+                table.apply_swap(rng.index(n), rng.index(n));
+                black_box(table.cost())
             });
         });
 

@@ -19,10 +19,13 @@
 //! `COSTAS_BENCH_JSON`) that the CI `bench-smoke` job uploads so the perf trajectory
 //! accumulates.  `COSTAS_COOP_INTERVAL` overrides the exchange interval.
 //!
-//! Schema v2: the artefact additionally carries a `probe_throughput` section —
-//! engine steps/sec for all four models (see the `probe_throughput` harness) — so
-//! the single committed `BENCH_dev.json` tracks both the scaling shape and the
-//! raw probe-path speed.
+//! Schema v2 added a `probe_throughput` section — engine steps/sec for all four
+//! models (see the `probe_throughput` harness) — so the single committed
+//! `BENCH_dev.json` tracks both the scaling shape and the raw probe-path speed.
+//! Schema v3 keeps every v2 field byte-compatible (steps/sec stays directly
+//! comparable across artefacts) and extends each throughput entry with the
+//! `culprit_scans` / `culprit_fast_selects` selection-path counters introduced by
+//! the error-maintenance layer.
 
 use bench::protocol::{cooperative_cell, parallel_cell, CellMode, CellSummary, CoopCellSummary};
 use bench::throughput::standard_models;
@@ -122,7 +125,7 @@ fn main() {
     let csv_path = write_csv("coop_vs_independent.csv", &table.to_csv());
     println!("CSV written to {}", csv_path.display());
 
-    // Schema v2 rider: probe throughput (engine steps/sec) for all four models, so
+    // Schema v2+ rider: probe throughput (engine steps/sec) for all four models, so
     // the perf trajectory of the probe path accumulates alongside the scaling data.
     // Deliberately not tied to COSTAS_RUNS: the cell repetition count and the step
     // count needed for a stable steps/sec reading are unrelated quantities.
@@ -140,7 +143,7 @@ fn main() {
     println!("\n{}", throughput_table.render());
 
     let doc = Json::object(vec![
-        ("schema", Json::from("coop_vs_independent/v2")),
+        ("schema", Json::from("coop_vs_independent/v3")),
         ("n", Json::from(n)),
         ("runs", Json::from(runs)),
         ("master_seed", Json::from(options.master_seed)),

@@ -3,15 +3,17 @@
 //!
 //! Protocol: for each of the four models (Costas 18, N-Queens 100, All-Interval
 //! 50, Magic Square 10×10) run one Adaptive Search walk for a fixed number of
-//! engine steps and report steps per second.  An engine step is dominated by the
-//! min-conflict probe of all `n − 1` candidate partners of the culprit variable,
-//! so steps/sec tracks exactly the cost the batched `probe_partners` path is
-//! supposed to shrink; regressions on this number mean the probe path got slower.
+//! engine steps and report steps per second.  An engine step is culprit selection
+//! plus the min-conflict probe of all `n − 1` candidate partners, so steps/sec
+//! tracks both the batched `probe_partners` path and the error-maintenance layer
+//! behind selection; regressions on this number mean one of those paths got
+//! slower.
 //!
 //! Output: the throughput table on stdout, a CSV under `target/experiments/`, and
-//! a machine-readable `BENCH_*.json` artefact (schema `probe_throughput/v1`; path
-//! overridable with `COSTAS_BENCH_JSON`) that the CI `bench-smoke` job uploads.
-//! `COSTAS_RUNS` overrides the step count.
+//! a machine-readable `BENCH_*.json` artefact (schema `probe_throughput/v2`,
+//! which extends v1 with per-model `culprit_scans` / `culprit_fast_selects`
+//! selection-path counters; path overridable with `COSTAS_BENCH_JSON`) that the
+//! CI `bench-smoke` job uploads.  `COSTAS_RUNS` overrides the step count.
 
 use bench::throughput::standard_models;
 use bench::{banner, write_bench_json, write_csv, HarnessOptions};
@@ -42,7 +44,7 @@ fn main() {
     println!("CSV written to {}", csv_path.display());
 
     let doc = Json::object(vec![
-        ("schema", Json::from("probe_throughput/v1")),
+        ("schema", Json::from("probe_throughput/v2")),
         ("steps", Json::from(steps)),
         ("master_seed", Json::from(options.master_seed)),
         (

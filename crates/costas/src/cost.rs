@@ -109,29 +109,87 @@ impl CostModel {
     }
 
     /// Compute the global cost of a permutation from scratch (reference
-    /// implementation, O(n²); the solvers use [`ConflictTable`] instead).
+    /// implementation, O(n·d_max); the solvers use [`ConflictTable`] instead).
+    ///
+    /// Convenience wrapper over [`CostModel::global_cost_with`] that allocates a
+    /// fresh scratch histogram; callers evaluating many candidates (the Costas
+    /// reset procedure, test oracles) should hold a scratch buffer and use the
+    /// `_with` variant.
     pub fn global_cost(&self, values: &[usize]) -> u64 {
+        self.global_cost_with(values, &mut Vec::new())
+    }
+
+    /// Allocation-free from-scratch global cost: `scratch` is a reusable one-row
+    /// histogram (resized to `2n − 1` and zeroed per row).
+    pub fn global_cost_with(&self, values: &[usize], scratch: &mut Vec<u32>) -> u64 {
         let n = values.len();
         if n < 2 {
             return 0;
         }
         let width = 2 * n - 1;
         let dmax = self.max_distance(n);
-        let mut counts = vec![0u32; dmax * width];
+        scratch.clear();
+        scratch.resize(width, 0);
         let mut cost = 0u64;
         for d in 1..=dmax {
-            let base = (d - 1) * width;
+            if d > 1 {
+                scratch.iter_mut().for_each(|c| *c = 0);
+            }
             let w = self.weight_at(n, d);
             for i in 0..(n - d) {
                 let diff = values[i + d] as i64 - values[i] as i64;
-                let idx = base + (diff + (n as i64 - 1)) as usize;
-                if counts[idx] > 0 {
+                let idx = (diff + (n as i64 - 1)) as usize;
+                if scratch[idx] > 0 {
                     cost += w;
                 }
-                counts[idx] += 1;
+                scratch[idx] += 1;
             }
         }
         cost
+    }
+
+    /// Like [`CostModel::global_cost_with`], but gives up as soon as the running
+    /// cost exceeds `limit` and returns `None`.
+    ///
+    /// Rows of the difference triangle contribute independently and
+    /// non-negatively, so every partial sum is a lower bound on the final cost:
+    /// `None` therefore *proves* `cost > limit` without finishing the sweep.  The
+    /// Costas reset procedure uses this to discard the bulk of its ≈ 2n candidate
+    /// perturbations after the first (heaviest-weighted) rows instead of paying
+    /// the full O(n·d_max) sweep per candidate.
+    pub fn global_cost_bounded(
+        &self,
+        values: &[usize],
+        limit: u64,
+        scratch: &mut Vec<u32>,
+    ) -> Option<u64> {
+        let n = values.len();
+        if n < 2 {
+            return Some(0);
+        }
+        let width = 2 * n - 1;
+        let dmax = self.max_distance(n);
+        scratch.clear();
+        scratch.resize(width, 0);
+        let mut cost = 0u64;
+        for d in 1..=dmax {
+            if d > 1 {
+                scratch.iter_mut().for_each(|c| *c = 0);
+            }
+            let w = self.weight_at(n, d);
+            for i in 0..(n - d) {
+                let diff = values[i + d] as i64 - values[i] as i64;
+                let idx = (diff + (n as i64 - 1)) as usize;
+                if scratch[idx] > 0 {
+                    cost += w;
+                }
+                scratch[idx] += 1;
+            }
+            if cost > limit {
+                return None;
+            }
+        }
+        Some(cost)
     }
 
     /// Compute the per-variable errors of a permutation from scratch.
@@ -139,7 +197,23 @@ impl CostModel {
     /// Following the paper: scanning each row left to right, when a pair `(Vᵢ, Vᵢ₊d)`
     /// has a difference already encountered in the row, both `Vᵢ` and `Vᵢ₊d` are
     /// charged `ERR(d)`.
+    ///
+    /// Convenience wrapper over [`CostModel::variable_errors_with`] that allocates
+    /// a fresh scratch histogram per call.  This is the *reference* path: the
+    /// solvers read [`ConflictTable::errors`], which maintains the same vector
+    /// incrementally across swaps.
     pub fn variable_errors(&self, values: &[usize], out: &mut Vec<u64>) {
+        self.variable_errors_with(values, out, &mut Vec::new());
+    }
+
+    /// Allocation-free from-scratch per-variable errors: `scratch` is a reusable
+    /// one-row histogram (resized to `2n − 1` and zeroed per row).
+    pub fn variable_errors_with(
+        &self,
+        values: &[usize],
+        out: &mut Vec<u64>,
+        scratch: &mut Vec<u32>,
+    ) {
         let n = values.len();
         out.clear();
         out.resize(n, 0);
@@ -148,18 +222,21 @@ impl CostModel {
         }
         let width = 2 * n - 1;
         let dmax = self.max_distance(n);
-        let mut counts = vec![0u32; width];
+        scratch.clear();
+        scratch.resize(width, 0);
         for d in 1..=dmax {
-            counts.iter_mut().for_each(|c| *c = 0);
+            if d > 1 {
+                scratch.iter_mut().for_each(|c| *c = 0);
+            }
             let w = self.weight_at(n, d);
             for i in 0..(n - d) {
                 let diff = values[i + d] as i64 - values[i] as i64;
                 let idx = (diff + (n as i64 - 1)) as usize;
-                if counts[idx] > 0 {
+                if scratch[idx] > 0 {
                     out[i] += w;
                     out[i + d] += w;
                 }
-                counts[idx] += 1;
+                scratch[idx] += 1;
             }
         }
     }
@@ -173,6 +250,25 @@ impl CostModel {
 /// contributes `ERR(d) · Σ max(cᵢ − 1, 0)` to the global cost, which is exactly the
 /// paper's "already encountered" counting.  Swapping two positions only changes the
 /// O(d_max) pairs that touch those positions, so the cost delta is cheap to compute.
+///
+/// # Error maintenance
+///
+/// Alongside the cost, the table keeps the **per-position error vector** up to date
+/// incrementally (the culprit-selection input of Adaptive Search).  The paper's
+/// attribution rule — scanning a row left to right, a pair whose difference was
+/// "already encountered" charges `ERR(d)` to both endpoints — is equivalent to the
+/// order-free statement *every pair of a bucket except the leftmost one is charged*.
+/// Each bucket therefore tracks its member pairs (by left index): a swap moves
+/// O(d_max) pairs between buckets, and each move touches the charge of at most one
+/// other pair (the bucket's leftmost, when the exemption changes hands).  Moving a
+/// pair walks its bucket's sorted member list, so the per-swap cost is O(d_max)
+/// expected for the scattered buckets of search-relevant configurations, degrading
+/// towards O(n·d_max) only when rows collapse into a single bucket (e.g. the
+/// identity permutation, where every row shares one difference).  The
+/// maintenance contract — [`ConflictTable::errors`] equals a from-scratch
+/// [`CostModel::variable_errors`] recompute after *any* `apply_swap` / `reset_to` /
+/// `rebuild` sequence — is enforced by `debug_assert!` in the apply path and by the
+/// property suites.
 #[derive(Debug, Clone)]
 pub struct ConflictTable {
     model: CostModel,
@@ -182,7 +278,32 @@ pub struct ConflictTable {
     values: Vec<usize>,
     counts: Vec<u32>,
     cost: u64,
+    /// Maintained per-position errors (paper attribution rule).
+    errors: Vec<u64>,
+    /// Intrusive per-bucket member lists over flat arrays, kept **sorted by left
+    /// index** so the bucket's exempt (leftmost) pair is always the head:
+    /// `bucket_head[b]` is the first pair id of bucket `b` (or [`NO_PAIR`]) and
+    /// `pair_next[p]` the next pair of the same bucket.  A pair `(d, i)` has id
+    /// `row_offset[d] + i`.  Only the apply path touches these; the read-only
+    /// probes keep using the flat `counts` for cache locality, and a rebuild is
+    /// one contiguous fill instead of thousands of per-bucket clears.
+    bucket_head: Vec<u32>,
+    pair_next: Vec<u32>,
+    row_offset: Vec<u32>,
+    /// Per-row occupancy bitmasks, maintained when the row width fits in 63 bits
+    /// (n ≤ 32, every Costas instance in practice): `occ_mask[d − 1]` has bit `b`
+    /// set iff the row's bucket `b` holds ≥ 1 pair, `multi_mask[d − 1]` iff it
+    /// holds ≥ 2.  The batched probe reads each candidate's cost delta out of
+    /// these two registers instead of six histogram loads; empty when disabled.
+    occ_mask: Vec<u64>,
+    multi_mask: Vec<u64>,
+    /// `weights[d]` = `ERR(d)`, precomputed so the apply/probe paths do not
+    /// re-evaluate `n² − d²` per touched pair (`weights[0]` unused).
+    weights: Vec<u64>,
 }
+
+/// Sentinel for "no pair" in the intrusive bucket member lists.
+const NO_PAIR: u32 = u32::MAX;
 
 impl ConflictTable {
     /// Build the table for a permutation.
@@ -191,6 +312,14 @@ impl ConflictTable {
         assert!(n >= 1, "conflict table needs a non-empty permutation");
         let width = if n >= 2 { 2 * n - 1 } else { 1 };
         let dmax = model.max_distance(n);
+        // row_offset[d] = id of pair (d, 0); row d holds the n − d pairs
+        // (d, 0) … (d, n − d − 1).
+        let mut row_offset = vec![0u32; dmax + 1];
+        let mut total_pairs = 0u32;
+        for (d, offset) in row_offset.iter_mut().enumerate().skip(1) {
+            *offset = total_pairs;
+            total_pairs += (n - d) as u32;
+        }
         let mut table = Self {
             model,
             n,
@@ -199,9 +328,36 @@ impl ConflictTable {
             values: values.to_vec(),
             counts: vec![0; dmax * width],
             cost: 0,
+            errors: vec![0; n],
+            bucket_head: vec![NO_PAIR; dmax * width],
+            pair_next: vec![NO_PAIR; total_pairs as usize],
+            row_offset,
+            occ_mask: if width <= 63 {
+                vec![0; dmax]
+            } else {
+                Vec::new()
+            },
+            multi_mask: if width <= 63 {
+                vec![0; dmax]
+            } else {
+                Vec::new()
+            },
+            weights: (0..=dmax).map(|d| model.weight_at(n, d.max(1))).collect(),
         };
         table.rebuild();
         table
+    }
+
+    /// Are the per-row occupancy bitmasks maintained (row width ≤ 63)?
+    #[inline]
+    fn masks_enabled(&self) -> bool {
+        !self.occ_mask.is_empty()
+    }
+
+    /// Precomputed `ERR(d)`.
+    #[inline]
+    fn weight(&self, d: usize) -> u64 {
+        self.weights[d]
     }
 
     /// Build from a validated [`Permutation`].
@@ -209,19 +365,46 @@ impl ConflictTable {
         Self::new(perm.values(), model)
     }
 
-    /// Recompute histogram and cost from the stored permutation (O(n·d_max)).
+    /// Recompute histogram, cost and the per-position error vector from the stored
+    /// permutation (O(n·d_max)).
     pub fn rebuild(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0);
+        self.bucket_head.iter_mut().for_each(|h| *h = NO_PAIR);
+        self.errors.iter_mut().for_each(|e| *e = 0);
         self.cost = 0;
+        let masks_on = self.masks_enabled();
         for d in 1..=self.dmax {
-            let w = self.model.weight_at(self.n, d);
+            let base = self.row_offset[d];
+            let row = (d - 1) * self.width;
+            // Insert right to left so every insertion is a head insertion and the
+            // lists come out sorted by left index (head = leftmost = exempt pair).
+            for i in (0..(self.n - d)).rev() {
+                let idx = self.index(d, i);
+                self.counts[idx] += 1;
+                let p = base + i as u32;
+                self.pair_next[p as usize] = self.bucket_head[idx];
+                self.bucket_head[idx] = p;
+            }
+            let w = self.weight(d);
+            let mut occ = 0u64;
+            let mut multi = 0u64;
             for i in 0..(self.n - d) {
                 let idx = self.index(d, i);
-                let c = &mut self.counts[idx];
-                if *c > 0 {
+                // charged iff not the bucket's leftmost pair (paper scan rule)
+                if self.bucket_head[idx] != base + i as u32 {
                     self.cost += w;
+                    self.errors[i] += w;
+                    self.errors[i + d] += w;
                 }
-                *c += 1;
+                if masks_on {
+                    let bit = 1u64 << (idx - row);
+                    multi |= occ & bit;
+                    occ |= bit;
+                }
+            }
+            if masks_on {
+                self.occ_mask[d - 1] = occ;
+                self.multi_mask[d - 1] = multi;
             }
         }
     }
@@ -274,37 +457,123 @@ impl ConflictTable {
     }
 
     /// Per-variable errors of the current configuration (paper attribution rule).
+    ///
+    /// A copy of the incrementally maintained vector — O(n), no histogram sweep,
+    /// no allocation beyond the caller's buffer.  Prefer [`ConflictTable::errors`]
+    /// when a borrowed view is enough.
     pub fn variable_errors(&self, out: &mut Vec<u64>) {
-        self.model.variable_errors(&self.values, out);
+        out.clear();
+        out.extend_from_slice(&self.errors);
     }
 
-    /// Remove a pair's difference from the histogram, updating cost.
+    /// Borrowed view of the incrementally maintained per-position errors.
+    ///
+    /// Maintenance contract: after any sequence of [`ConflictTable::apply_swap`] /
+    /// [`ConflictTable::reset_to`] / [`ConflictTable::rebuild`], this equals
+    /// exactly what [`CostModel::variable_errors`] recomputes from scratch.
+    pub fn errors(&self) -> &[u64] {
+        &self.errors
+    }
+
+    /// Remove a pair's difference from the histogram, updating cost and the error
+    /// vector.
     #[inline]
     fn remove_pair(&mut self, d: usize, i: usize) {
-        let w = self.model.weight_at(self.n, d);
+        let w = self.weight(d);
         let idx = self.index(d, i);
         let c = &mut self.counts[idx];
         debug_assert!(*c > 0);
         *c -= 1;
-        if *c > 0 {
+        let c_after = *c;
+        if c_after > 0 {
             self.cost -= w;
+        }
+        if self.masks_enabled() && c_after <= 1 {
+            let bit = 1u64 << (idx - (d - 1) * self.width);
+            if c_after == 0 {
+                self.occ_mask[d - 1] &= !bit;
+            } else {
+                self.multi_mask[d - 1] &= !bit;
+            }
+        }
+        let p = self.row_offset[d] + i as u32;
+        let head = self.bucket_head[idx];
+        if head == p {
+            // the bucket's leftmost (exempt) pair leaves: the exemption passes to
+            // the new leftmost, which stops being charged
+            let next = self.pair_next[p as usize];
+            self.bucket_head[idx] = next;
+            if next != NO_PAIR {
+                let m1 = (next - self.row_offset[d]) as usize;
+                self.errors[m1] -= w;
+                self.errors[m1 + d] -= w;
+            }
+        } else {
+            // a charged pair leaves; unlink it from the sorted list
+            self.errors[i] -= w;
+            self.errors[i + d] -= w;
+            let mut prev = head;
+            while self.pair_next[prev as usize] != p {
+                prev = self.pair_next[prev as usize];
+            }
+            self.pair_next[prev as usize] = self.pair_next[p as usize];
         }
     }
 
-    /// Add a pair's difference to the histogram, updating cost.
+    /// Add a pair's difference to the histogram, updating cost and the error
+    /// vector.
     #[inline]
     fn add_pair(&mut self, d: usize, i: usize) {
-        let w = self.model.weight_at(self.n, d);
+        let w = self.weight(d);
         let idx = self.index(d, i);
         let c = &mut self.counts[idx];
         if *c > 0 {
             self.cost += w;
         }
         *c += 1;
+        let c_after = *c;
+        if self.masks_enabled() && c_after <= 2 {
+            let bit = 1u64 << (idx - (d - 1) * self.width);
+            if c_after == 1 {
+                self.occ_mask[d - 1] |= bit;
+            } else {
+                self.multi_mask[d - 1] |= bit;
+            }
+        }
+        let base = self.row_offset[d];
+        let p = base + i as u32;
+        let head = self.bucket_head[idx];
+        if head == NO_PAIR || p < head {
+            // new leftmost: exempt; a previous leftmost (if any) becomes charged
+            if head != NO_PAIR {
+                let m0 = (head - base) as usize;
+                self.errors[m0] += w;
+                self.errors[m0 + d] += w;
+            }
+            self.pair_next[p as usize] = head;
+            self.bucket_head[idx] = p;
+        } else {
+            // charged; insert at its sorted position
+            self.errors[i] += w;
+            self.errors[i + d] += w;
+            let mut prev = head;
+            loop {
+                let next = self.pair_next[prev as usize];
+                if next == NO_PAIR || next > p {
+                    self.pair_next[p as usize] = next;
+                    self.pair_next[prev as usize] = p;
+                    break;
+                }
+                prev = next;
+            }
+        }
     }
 
-    /// Apply a swap of positions `i` and `j`, updating the histogram and cost in
-    /// O(d_max) time and with no allocation.  No-op when `i == j`.
+    /// Apply a swap of positions `i` and `j`, updating the histogram, the cost and
+    /// the per-position error vector, allocation-free.  O(d_max) expected time —
+    /// plus the bucket member-list walks, which only exceed O(1) each in
+    /// degenerate many-pairs-per-bucket configurations (see the type-level docs).
+    /// No-op when `i == j`.
     ///
     /// The set of affected (distance, left-index) pairs depends only on `i`, `j`, the
     /// order and the scored span — not on the values — so the same index arithmetic is
@@ -342,6 +611,11 @@ impl ConflictTable {
         walk_affected!(self, remove_pair);
         self.values.swap(i, j);
         walk_affected!(self, add_pair);
+        debug_assert!(
+            self.errors_consistency_check(),
+            "maintained error vector diverged from the from-scratch recompute \
+             after swap ({i}, {j})"
+        );
     }
 
     /// Value sitting at position `p` once positions `i` and `j` are swapped,
@@ -392,7 +666,7 @@ impl ConflictTable {
                     touched.push(self.diff_index(d, new), 1);
                 }
             }
-            let w = self.model.weight_at(self.n, d) as i64;
+            let w = self.weight(d) as i64;
             for (idx, net) in touched.nets() {
                 let c = i64::from(self.counts[idx]);
                 delta += w * ((c + net - 1).max(0) - (c - 1).max(0));
@@ -441,76 +715,10 @@ impl ConflictTable {
         if n < 2 || lo_bound >= n {
             return;
         }
-        let vm = self.values[m] as i64;
-        for d in 1..=self.dmax {
-            let w = self.model.weight_at(n, d) as i64;
-            // Hoisted per-distance removal: the culprit pairs (m − d, m) and
-            // (m, m + d) lose their current differences whatever the partner is.
-            let left_other = (m >= d).then(|| self.values[m - d] as i64);
-            let right_other = (m + d < n).then(|| self.values[m + d] as i64);
-            // Buckets vacated by the culprit (the two pairs can share one), turned
-            // into "count after removal" baselines in place.
-            let mut removed = BucketMerge::<2>::new();
-            if let Some(lo) = left_other {
-                removed.push(self.diff_index(d, vm - lo), 1);
-            }
-            if let Some(ro) = right_other {
-                removed.push(self.diff_index(d, ro - vm), 1);
-            }
-            let mut removal_delta = 0i64;
-            for slot in removed.entries_mut() {
-                let c = i64::from(self.counts[slot.0]);
-                removal_delta += w * ((c - slot.1 - 1).max(0) - (c - 1).max(0));
-                slot.1 = c - slot.1;
-            }
-            for (j, out_slot) in out.iter_mut().enumerate().skip(lo_bound) {
-                if j == m {
-                    continue;
-                }
-                let vj = self.values[j] as i64;
-                // ≤ 2 culprit re-additions + ≤ 2 candidate pairs × 2 entries.
-                let mut touched = BucketMerge::<6>::new();
-                // Culprit pair (m − d, m): position m now holds v_j; the left
-                // neighbour is v_m instead when the candidate *is* that neighbour.
-                if let Some(lo) = left_other {
-                    let lo = if m - d == j { vm } else { lo };
-                    touched.push(self.diff_index(d, vj - lo), 1);
-                }
-                // Culprit pair (m, m + d), mirrored.
-                if let Some(ro) = right_other {
-                    let ro = if m + d == j { vm } else { ro };
-                    touched.push(self.diff_index(d, ro - vj), 1);
-                }
-                // Candidate pair (j − d, j) — unless it touches the culprit, in
-                // which case it is one of the culprit pairs handled above.
-                if j >= d && j - d != m {
-                    let lo = self.values[j - d] as i64;
-                    let (old, new) = (vj - lo, vm - lo);
-                    if old != new {
-                        touched.push(self.diff_index(d, old), -1);
-                        touched.push(self.diff_index(d, new), 1);
-                    }
-                }
-                // Candidate pair (j, j + d), mirrored.
-                if j + d < n && j + d != m {
-                    let ro = self.values[j + d] as i64;
-                    let (old, new) = (ro - vj, ro - vm);
-                    if old != new {
-                        touched.push(self.diff_index(d, old), -1);
-                        touched.push(self.diff_index(d, new), 1);
-                    }
-                }
-                let mut delta = removal_delta;
-                for (idx, net) in touched.nets() {
-                    // Baseline count: the histogram with the culprit's old pairs
-                    // already removed.
-                    let b = removed
-                        .get(idx)
-                        .unwrap_or_else(|| i64::from(self.counts[idx]));
-                    delta += w * ((b + net - 1).max(0) - (b - 1).max(0));
-                }
-                *out_slot = out_slot.wrapping_add_signed(delta);
-            }
+        if self.masks_enabled() {
+            self.probe_range_masked(m, lo_bound, out);
+        } else {
+            self.probe_range_generic(m, lo_bound, out);
         }
         debug_assert!(
             out.iter().enumerate().all(|(j, &c)| {
@@ -523,6 +731,273 @@ impl ConflictTable {
             }),
             "batched probe diverged from the per-pair delta path (culprit {m})"
         );
+    }
+
+    /// Mask-accelerated probe body (row width ≤ 63): in the collision-free common
+    /// case a candidate's per-row delta is read out of the two occupancy bitmasks
+    /// — `+1` on a bucket adds `w` iff its `occ` bit is set, `−1` subtracts `w`
+    /// iff its `multi` bit is set — with the ≤ 2 culprit-vacated buckets patched
+    /// into register copies of the masks once per row.
+    fn probe_range_masked(&self, m: usize, lo_bound: usize, out: &mut [u64]) {
+        let n = self.n;
+        let vm = self.values[m] as i64;
+        let values = &self.values[..];
+        let counts = &self.counts[..];
+        let off = n as i64 - 1;
+        let mut touched = BucketMerge::<6>::new();
+        for d in 1..=self.dmax {
+            let w = self.weight(d) as i64;
+            let base = (d - 1) * self.width;
+            let left_other = (m >= d).then(|| values[m - d] as i64);
+            let right_other = (m + d < n).then(|| values[m + d] as i64);
+            // Culprit-vacated buckets as row-local bit positions, merged.
+            let mut removed = BucketMerge::<2>::new();
+            if let Some(lo) = left_other {
+                removed.push((vm - lo + off) as usize, 1);
+            }
+            if let Some(ro) = right_other {
+                removed.push((ro - vm + off) as usize, 1);
+            }
+            let (mut r0, mut a0, mut r1, mut a1) = (usize::MAX, 0i64, usize::MAX, 0i64);
+            let mut removal_delta = 0i64;
+            let mut occ = self.occ_mask[d - 1];
+            let mut multi = self.multi_mask[d - 1];
+            for (slot, (r, a)) in removed
+                .entries_mut()
+                .iter()
+                .zip([(&mut r0, &mut a0), (&mut r1, &mut a1)])
+            {
+                let c = i64::from(counts[base + slot.0]);
+                removal_delta += w * ((c - slot.1 - 1).max(0) - (c - 1).max(0));
+                let b = c - slot.1;
+                let bit = 1u64 << slot.0;
+                occ = (occ & !bit) | (u64::from(b >= 1) << slot.0);
+                multi = (multi & !bit) | (u64::from(b >= 2) << slot.0);
+                *r = slot.0;
+                *a = slot.1;
+            }
+            let m_minus_d = m.wrapping_sub(d);
+            let m_plus_d = m + d;
+            for (j, out_slot) in out.iter_mut().enumerate().skip(lo_bound) {
+                if j == m {
+                    continue;
+                }
+                let vj = values[j] as i64;
+                let mut delta = removal_delta;
+                if j != m_minus_d && j != m_plus_d {
+                    // Fast path — identical event structure to the generic body,
+                    // but every baseline test is a register bit test.
+                    let mut collide = false;
+                    let mut acc = 0i64;
+                    let (mut k1, mut k2) = (usize::MAX, usize::MAX);
+                    if let Some(lo) = left_other {
+                        k1 = (vj - lo + off) as usize;
+                        acc += ((occ >> k1) & 1) as i64;
+                    }
+                    if let Some(ro) = right_other {
+                        k2 = (ro - vj + off) as usize;
+                        acc += ((occ >> k2) & 1) as i64;
+                        collide |= k1 == k2;
+                    }
+                    let (mut o1, mut n1) = (usize::MAX, usize::MAX);
+                    if j >= d {
+                        let vl = values[j - d] as i64;
+                        o1 = (vj - vl + off) as usize;
+                        n1 = (vm - vl + off) as usize;
+                        acc += ((occ >> n1) & 1) as i64 - ((multi >> o1) & 1) as i64;
+                        collide |= (k1 == o1) | (k1 == n1) | (k2 == o1) | (k2 == n1);
+                    }
+                    if j + d < n {
+                        let vr = values[j + d] as i64;
+                        let o2 = (vr - vj + off) as usize;
+                        let n2 = (vr - vm + off) as usize;
+                        acc += ((occ >> n2) & 1) as i64 - ((multi >> o2) & 1) as i64;
+                        collide |= (k1 == o2) | (k1 == n2) | (k2 == o2) | (k2 == n2);
+                        collide |= (o1 == o2) | (o1 == n2) | (n1 == o2) | (n1 == n2);
+                    }
+                    if !collide {
+                        *out_slot = out_slot.wrapping_add_signed(delta + w * acc);
+                        continue;
+                    }
+                    delta = removal_delta;
+                }
+                // Generic path: culprit-neighbour cells and bucket collisions.
+                touched.clear();
+                if let Some(lo) = left_other {
+                    let lo = if m_minus_d == j { vm } else { lo };
+                    touched.push((vj - lo + off) as usize, 1);
+                }
+                if let Some(ro) = right_other {
+                    let ro = if m_plus_d == j { vm } else { ro };
+                    touched.push((ro - vj + off) as usize, 1);
+                }
+                if j >= d && j - d != m {
+                    let vl = values[j - d] as i64;
+                    touched.push((vj - vl + off) as usize, -1);
+                    touched.push((vm - vl + off) as usize, 1);
+                }
+                if j + d < n && j + d != m {
+                    let vr = values[j + d] as i64;
+                    touched.push((vr - vj + off) as usize, -1);
+                    touched.push((vr - vm + off) as usize, 1);
+                }
+                for (pos, net) in touched.nets() {
+                    let b = i64::from(counts[base + pos])
+                        - a0 * i64::from(pos == r0)
+                        - a1 * i64::from(pos == r1);
+                    delta += w * ((b + net - 1).max(0) - (b - 1).max(0));
+                }
+                *out_slot = out_slot.wrapping_add_signed(delta);
+            }
+        }
+    }
+
+    /// Generic probe body (any order): baseline counts are read from the flat
+    /// histogram with the culprit-vacated buckets patched via two scalars.
+    fn probe_range_generic(&self, m: usize, lo_bound: usize, out: &mut [u64]) {
+        let n = self.n;
+        let vm = self.values[m] as i64;
+        let values = &self.values[..];
+        let counts = &self.counts[..];
+        // One accumulator reused across every candidate of the batch (cleared per
+        // candidate): constructing it inside the loop would re-zero its storage
+        // for each of the n − 1 candidates.
+        let mut touched = BucketMerge::<6>::new();
+        for d in 1..=self.dmax {
+            let w = self.weight(d) as i64;
+            // Hoisted per-distance removal: the culprit pairs (m − d, m) and
+            // (m, m + d) lose their current differences whatever the partner is.
+            let left_other = (m >= d).then(|| values[m - d] as i64);
+            let right_other = (m + d < n).then(|| values[m + d] as i64);
+            // Buckets vacated by the culprit (the two pairs can share one), kept
+            // as two scalars so the per-candidate baseline is branch-free:
+            // baseline(idx) = counts[idx] − a0·[idx = r0] − a1·[idx = r1].
+            let mut removed = BucketMerge::<2>::new();
+            if let Some(lo) = left_other {
+                removed.push(self.diff_index(d, vm - lo), 1);
+            }
+            if let Some(ro) = right_other {
+                removed.push(self.diff_index(d, ro - vm), 1);
+            }
+            let (mut r0, mut a0, mut r1, mut a1) = (usize::MAX, 0i64, usize::MAX, 0i64);
+            let mut removal_delta = 0i64;
+            for (slot, (r, a)) in removed
+                .entries_mut()
+                .iter()
+                .zip([(&mut r0, &mut a0), (&mut r1, &mut a1)])
+            {
+                let c = i64::from(counts[slot.0]);
+                removal_delta += w * ((c - slot.1 - 1).max(0) - (c - 1).max(0));
+                *r = slot.0;
+                *a = slot.1;
+            }
+            // Baseline count for a bucket: the histogram with the culprit's old
+            // pairs already removed.
+            let baseline = |idx: usize| -> i64 {
+                i64::from(counts[idx]) - a0 * i64::from(idx == r0) - a1 * i64::from(idx == r1)
+            };
+            let m_minus_d = m.wrapping_sub(d);
+            let m_plus_d = m + d;
+            for (j, out_slot) in out.iter_mut().enumerate().skip(lo_bound) {
+                if j == m {
+                    continue;
+                }
+                let vj = values[j] as i64;
+                let mut delta = removal_delta;
+                // The candidate cells where a culprit pair and a candidate pair
+                // are the same pair (j = m ± d) take the generic merge path below.
+                if j != m_minus_d && j != m_plus_d {
+                    // Fast path: ≤ 6 single-count events — culprit re-additions
+                    // k1/k2 (+1) and candidate-pair moves o→n (−1, +1).  When all
+                    // touched buckets are pairwise distinct, each event scores
+                    // independently against its baseline `b`: +1 adds w·[b ≥ 1],
+                    // −1 subtracts w·[b ≥ 2].  (o = n is impossible: v_j ≠ v_m.)
+                    let mut collide = false;
+                    let (mut k1, mut k2) = (usize::MAX, usize::MAX);
+                    if let Some(lo) = left_other {
+                        k1 = self.diff_index(d, vj - lo);
+                    }
+                    if let Some(ro) = right_other {
+                        k2 = self.diff_index(d, ro - vj);
+                        collide |= k1 == k2;
+                    }
+                    let (mut o1, mut n1) = (usize::MAX, usize::MAX);
+                    let has_left = j >= d;
+                    if has_left {
+                        let vl = values[j - d] as i64;
+                        o1 = self.diff_index(d, vj - vl);
+                        n1 = self.diff_index(d, vm - vl);
+                        collide |= (k1 == o1) | (k1 == n1) | (k2 == o1) | (k2 == n1);
+                    }
+                    let has_right = j + d < n;
+                    if has_right {
+                        let vr = values[j + d] as i64;
+                        let o2 = self.diff_index(d, vr - vj);
+                        let n2 = self.diff_index(d, vr - vm);
+                        collide |= (k1 == o2) | (k1 == n2) | (k2 == o2) | (k2 == n2);
+                        collide |= (o1 == o2) | (o1 == n2) | (n1 == o2) | (n1 == n2);
+                        if !collide {
+                            delta +=
+                                w * (i64::from(baseline(n2) >= 1) - i64::from(baseline(o2) >= 2));
+                        }
+                    }
+                    if !collide {
+                        if k1 != usize::MAX {
+                            delta += w * i64::from(baseline(k1) >= 1);
+                        }
+                        if k2 != usize::MAX {
+                            delta += w * i64::from(baseline(k2) >= 1);
+                        }
+                        if has_left {
+                            delta +=
+                                w * (i64::from(baseline(n1) >= 1) - i64::from(baseline(o1) >= 2));
+                        }
+                        *out_slot = out_slot.wrapping_add_signed(delta);
+                        continue;
+                    }
+                    delta = removal_delta;
+                }
+                // Generic path (culprit-neighbour cells and the rare bucket
+                // collisions): merge nets per bucket and score each distinct
+                // bucket once.  ≤ 2 culprit re-additions + ≤ 2 pairs × 2 entries.
+                touched.clear();
+                // Culprit pair (m − d, m): position m now holds v_j; the left
+                // neighbour is v_m instead when the candidate *is* that neighbour.
+                if let Some(lo) = left_other {
+                    let lo = if m_minus_d == j { vm } else { lo };
+                    touched.push(self.diff_index(d, vj - lo), 1);
+                }
+                // Culprit pair (m, m + d), mirrored.
+                if let Some(ro) = right_other {
+                    let ro = if m_plus_d == j { vm } else { ro };
+                    touched.push(self.diff_index(d, ro - vj), 1);
+                }
+                // Candidate pair (j − d, j) — unless it touches the culprit, in
+                // which case it is one of the culprit pairs handled above.
+                if j >= d && j - d != m {
+                    let lo = values[j - d] as i64;
+                    let (old, new) = (vj - lo, vm - lo);
+                    if old != new {
+                        touched.push(self.diff_index(d, old), -1);
+                        touched.push(self.diff_index(d, new), 1);
+                    }
+                }
+                // Candidate pair (j, j + d), mirrored.
+                if j + d < n && j + d != m {
+                    let ro = values[j + d] as i64;
+                    let (old, new) = (ro - vj, ro - vm);
+                    if old != new {
+                        touched.push(self.diff_index(d, old), -1);
+                        touched.push(self.diff_index(d, new), 1);
+                    }
+                }
+                for (idx, net) in touched.nets() {
+                    let b = baseline(idx);
+                    delta += w * ((b + net - 1).max(0) - (b - 1).max(0));
+                }
+                *out_slot = out_slot.wrapping_add_signed(delta);
+            }
+        }
     }
 
     /// Cost the configuration would have after swapping positions `i` and `j`,
@@ -546,10 +1021,38 @@ impl ConflictTable {
         predicted
     }
 
+    /// Weighted cost contributed by row `d` of the current difference triangle
+    /// (`Σ ERR(d)·max(c − 1, 0)` over the row's histogram buckets).
+    ///
+    /// Diagnostic/decomposition helper: the rows contribute to
+    /// [`ConflictTable::cost`] independently, so `Σ_d row_cost(d)` equals the
+    /// global cost exactly.
+    ///
+    /// # Panics
+    /// Panics if `d` is outside `1..=max_distance`.
+    pub fn row_cost(&self, d: usize) -> u64 {
+        assert!((1..=self.dmax).contains(&d), "row {d} is not scored");
+        let w = self.weight(d);
+        let base = (d - 1) * self.width;
+        self.counts[base..base + self.width]
+            .iter()
+            .map(|&c| w * u64::from(c.saturating_sub(1)))
+            .sum()
+    }
+
     /// Debug helper: recompute the cost from scratch and compare with the running
     /// value.  Used by tests and `debug_assert!`s in the engine.
     pub fn consistency_check(&self) -> bool {
         self.model.global_cost(&self.values) == self.cost
+    }
+
+    /// Debug helper: recompute the per-position errors from scratch and compare
+    /// with the maintained vector.  Used by tests and the `debug_assert!` in
+    /// [`ConflictTable::apply_swap`].
+    pub fn errors_consistency_check(&self) -> bool {
+        let mut expected = Vec::new();
+        self.model.variable_errors(&self.values, &mut expected);
+        expected == self.errors
     }
 }
 
@@ -797,6 +1300,35 @@ mod tests {
     }
 
     #[test]
+    fn probe_agrees_with_apply_for_large_orders_without_masks() {
+        // Orders with 2n − 1 > 63 disable the per-row occupancy bitmasks, so this
+        // is the coverage of the generic probe body (and, via the debug_assert in
+        // the probe dispatcher, of its agreement with the per-pair delta path).
+        let mut rng = default_rng(103);
+        let mut out = Vec::new();
+        for n in [33usize, 40] {
+            for model in [CostModel::basic(), CostModel::optimized()] {
+                let p = one_based(random_permutation(n, &mut rng));
+                let table = ConflictTable::new(&p, model);
+                for culprit in 0..n {
+                    table.probe_partners(culprit, &mut out);
+                    for (j, &probed) in out.iter().enumerate() {
+                        let mut copy = table.clone();
+                        copy.apply_swap(culprit, j);
+                        assert_eq!(
+                            probed,
+                            copy.cost(),
+                            "n={n} model={model:?} ({culprit}, {j})"
+                        );
+                    }
+                }
+                assert_eq!(table.values(), &p[..], "probe must not mutate");
+                assert!(table.errors_consistency_check());
+            }
+        }
+    }
+
+    #[test]
     fn swap_with_self_is_noop() {
         let p = [3usize, 4, 2, 1, 5];
         let mut table = ConflictTable::new(&p, CostModel::optimized());
@@ -820,6 +1352,99 @@ mod tests {
         let table = ConflictTable::new(&[1], CostModel::optimized());
         assert_eq!(table.cost(), 0);
         assert!(table.is_solution());
+    }
+
+    #[test]
+    fn scratch_variants_agree_with_the_allocating_api() {
+        let mut rng = default_rng(57);
+        let mut scratch = Vec::new();
+        let mut errs = Vec::new();
+        let mut errs_with = Vec::new();
+        for n in [1usize, 2, 5, 11, 18] {
+            for model in [CostModel::basic(), CostModel::optimized()] {
+                for _ in 0..10 {
+                    let p = one_based(random_permutation(n, &mut rng));
+                    assert_eq!(
+                        model.global_cost(&p),
+                        model.global_cost_with(&p, &mut scratch),
+                        "n={n} {p:?}"
+                    );
+                    model.variable_errors(&p, &mut errs);
+                    model.variable_errors_with(&p, &mut errs_with, &mut scratch);
+                    assert_eq!(errs, errs_with, "n={n} {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maintained_errors_match_scratch_after_construction() {
+        let mut rng = default_rng(61);
+        let mut expected = Vec::new();
+        let mut copied = Vec::new();
+        for n in [1usize, 2, 4, 9, 15, 20] {
+            for model in [CostModel::basic(), CostModel::optimized()] {
+                let p = one_based(random_permutation(n, &mut rng));
+                let table = ConflictTable::new(&p, model);
+                model.variable_errors(&p, &mut expected);
+                assert_eq!(table.errors(), &expected[..], "n={n} {p:?}");
+                table.variable_errors(&mut copied);
+                assert_eq!(copied, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn maintained_errors_survive_swap_and_reset_sequences() {
+        let mut rng = default_rng(71);
+        let mut expected = Vec::new();
+        let mut scratch = Vec::new();
+        for n in [2usize, 5, 9, 14, 19] {
+            for model in [CostModel::basic(), CostModel::optimized()] {
+                let p = one_based(random_permutation(n, &mut rng));
+                let mut table = ConflictTable::new(&p, model);
+                for step in 0..150 {
+                    if step % 37 == 36 {
+                        let fresh = one_based(random_permutation(n, &mut rng));
+                        table.reset_to(&fresh);
+                    } else {
+                        table.apply_swap(rng.index(n), rng.index(n));
+                    }
+                    model.variable_errors_with(table.values(), &mut expected, &mut scratch);
+                    assert_eq!(
+                        table.errors(),
+                        &expected[..],
+                        "n={n} model={model:?} step={step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maintained_errors_sum_is_twice_unit_cost() {
+        let mut rng = default_rng(83);
+        let n = 16;
+        let p = one_based(random_permutation(n, &mut rng));
+        let mut table = ConflictTable::new(&p, CostModel::basic());
+        for _ in 0..100 {
+            table.apply_swap(rng.index(n), rng.index(n));
+            assert_eq!(table.errors().iter().sum::<u64>(), 2 * table.cost());
+        }
+    }
+
+    #[test]
+    fn row_cost_decomposes_the_global_cost() {
+        let mut rng = default_rng(91);
+        for n in [2usize, 5, 11, 17] {
+            for model in [CostModel::basic(), CostModel::optimized()] {
+                let p = one_based(random_permutation(n, &mut rng));
+                let table = ConflictTable::new(&p, model);
+                let dmax = model.max_distance(n);
+                let total: u64 = (1..=dmax).map(|d| table.row_cost(d)).sum();
+                assert_eq!(total, table.cost(), "n={n} model={model:?}");
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,16 @@ impl<const N: usize> BucketMerge<N> {
         }
     }
 
+    /// Forget all entries, keeping the allocation-free storage.
+    ///
+    /// Hot probe loops construct one accumulator per *batch* and `clear` it per
+    /// candidate instead of re-constructing: only `len` is reset, so the stale
+    /// array contents (guarded by `len` everywhere) are not re-zeroed.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
     /// Add `change` to bucket `idx`, merging with an earlier push of the same
     /// bucket.
     ///

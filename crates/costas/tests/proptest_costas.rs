@@ -86,6 +86,53 @@ proptest! {
     }
 
     #[test]
+    fn maintained_errors_match_scratch_under_swap_and_reset_sequences(
+        perm in arb_permutation(),
+        ops in proptest::collection::vec((any::<u8>(), 0usize..20, 0usize..20), 0..40),
+        reseed in any::<u64>(),
+    ) {
+        let n = perm.len();
+        let mut rng = default_rng(reseed);
+        let mut expected = Vec::new();
+        let mut copied = Vec::new();
+        let mut scratch = Vec::new();
+        for model in [CostModel::basic(), CostModel::optimized()] {
+            let mut table = ConflictTable::new(&perm, model);
+            for &(tag, a, b) in &ops {
+                if tag % 8 == 0 {
+                    // reset path: a fresh permutation rebuilt from scratch
+                    let mut fresh = random_permutation(n, &mut rng);
+                    fresh.iter_mut().for_each(|v| *v += 1);
+                    table.reset_to(&fresh);
+                } else {
+                    table.apply_swap(a % n, b % n);
+                }
+                model.variable_errors_with(table.values(), &mut expected, &mut scratch);
+                prop_assert_eq!(table.errors(), &expected[..]);
+                table.variable_errors(&mut copied);
+                prop_assert_eq!(&copied, &expected);
+                prop_assert!(table.errors_consistency_check());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_cost_and_error_variants_match_allocating_api(perm in arb_permutation()) {
+        let mut scratch = Vec::new();
+        let mut errs = Vec::new();
+        let mut errs_with = Vec::new();
+        for model in [CostModel::basic(), CostModel::optimized()] {
+            prop_assert_eq!(
+                model.global_cost(&perm),
+                model.global_cost_with(&perm, &mut scratch)
+            );
+            model.variable_errors(&perm, &mut errs);
+            model.variable_errors_with(&perm, &mut errs_with, &mut scratch);
+            prop_assert_eq!(&errs, &errs_with);
+        }
+    }
+
+    #[test]
     fn cost_zero_iff_costas(perm in arb_permutation()) {
         let is_costas = is_costas_permutation(&perm);
         // Basic model over the full triangle: cost 0 ⟺ Costas.
