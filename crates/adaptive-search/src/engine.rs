@@ -21,6 +21,7 @@ use crate::problem::PermutationProblem;
 use crate::stats::{SearchStats, SolveResult, SolveStatus};
 use crate::tabu::TabuList;
 use crate::termination::{NeverStop, StopCondition};
+use crate::tie_break::{pick_uniform, TieBreak};
 
 /// Result of a single engine iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +74,7 @@ pub struct Engine<P: PermutationProblem> {
     restart_pending: bool,
     // scratch buffers reused across iterations to keep the inner loop allocation-free
     errors: Vec<u64>,
-    ties: Vec<usize>,
+    swap_ties: TieBreak<u64>,
     probe: Vec<u64>,
     // --- culprit-selection cache (running max-error) ---------------------------
     /// Nothing mutated the configuration since the last culprit selection: the
@@ -118,7 +119,7 @@ impl<P: PermutationProblem> Engine<P> {
             marked_since_reset: 0,
             restart_pending: false,
             errors: Vec::with_capacity(n),
-            ties: Vec::with_capacity(n),
+            swap_ties: TieBreak::with_capacity(n),
             probe: Vec::with_capacity(n),
             select_cache_valid: false,
             select_cache_now: 0,
@@ -304,11 +305,7 @@ impl<P: PermutationProblem> Engine<P> {
                 );
             }
         }
-        if self.culprit_ties.is_empty() {
-            None
-        } else {
-            Some(self.culprit_ties[self.rng.index(self.culprit_ties.len())])
-        }
+        pick_uniform(&self.culprit_ties, &mut self.rng)
     }
 
     /// Min-conflict step: among all swaps of `culprit` with another position, find the
@@ -320,21 +317,17 @@ impl<P: PermutationProblem> Engine<P> {
     /// probe buffer is engine scratch).
     fn best_swap_for(&mut self, culprit: usize) -> (usize, u64) {
         self.problem.probe_partners(culprit, &mut self.probe);
-        let mut best_cost = u64::MAX;
-        self.ties.clear();
+        self.swap_ties.clear();
         for (j, &cost) in self.probe.iter().enumerate() {
-            if j == culprit {
-                continue;
-            }
-            if cost < best_cost {
-                best_cost = cost;
-                self.ties.clear();
-                self.ties.push(j);
-            } else if cost == best_cost {
-                self.ties.push(j);
+            if j != culprit {
+                self.swap_ties.offer_min(j, cost);
             }
         }
-        let pick = self.ties[self.rng.index(self.ties.len())];
+        let best_cost = self.swap_ties.best().expect("n ≥ 2 has a candidate swap");
+        let pick = self
+            .swap_ties
+            .pick(&mut self.rng)
+            .expect("n ≥ 2 has a candidate swap");
         debug_assert_eq!(
             best_cost,
             self.problem.cost_after_swap(culprit, pick),

@@ -20,37 +20,49 @@
 //!
 //! The crate is organised as a reusable library:
 //!
-//! * [`PermutationProblem`] — the problem interface (all four models in this crate are
+//! * [`PermutationProblem`] — the problem interface (all six models in this crate are
 //!   permutation problems, as in the original AS C library).
 //! * [`Engine`] — the AS algorithm itself, stepable one iteration at a time (which is
 //!   what the virtual-cluster simulator in the `multiwalk` crate builds on).
 //! * [`AsConfig`] — every tuning knob of the paper, with the paper's defaults.
 //! * [`costas_model::CostasProblem`] — the CAP model (basic and optimised variants).
 //! * [`queens::QueensProblem`], [`all_interval::AllIntervalProblem`],
-//!   [`magic_square::MagicSquareProblem`] — the classical CSPLib benchmarks quoted in
-//!   the paper's comparisons, demonstrating domain independence.
+//!   [`magic_square::MagicSquareProblem`], [`langford::LangfordProblem`],
+//!   [`partition::PartitionProblem`] — classical CSPLib benchmarks on the same
+//!   engine, demonstrating domain independence.
+//! * [`problems`] — the workload registry: every model keyed by a stable string,
+//!   with per-model metadata (constructor, default configuration, known-optimum
+//!   predicate, standard bench sizes) so harnesses dispatch by name.
+//! * [`tie_break`] — the uniform tie-break accumulator shared by the engine's
+//!   min-conflict scan and the baseline solvers.
 //! * [`multi_restart`] — a sequential driver with restart/benchmarking support.
 
 pub mod all_interval;
 pub mod config;
 pub mod costas_model;
 pub mod engine;
+pub mod langford;
 pub mod magic_square;
 pub mod multi_restart;
+pub mod partition;
 pub mod problem;
+pub mod problems;
 pub mod queens;
 pub mod stats;
 pub mod tabu;
 pub mod termination;
+pub mod tie_break;
 
 pub use config::{AsConfig, AsConfigBuilder, ResetPolicy, RestartPolicy};
 pub use costas_model::{CostasModelConfig, CostasProblem};
 pub use engine::{Engine, InjectOutcome, StepOutcome};
 pub use multi_restart::{solve_costas, solve_with_restarts, SequentialDriver};
 pub use problem::PermutationProblem;
+pub use problems::{DynProblem, ProblemInfo};
 pub use stats::{SearchStats, SolveResult, SolveStatus};
 pub use tabu::TabuList;
 pub use termination::{StopCondition, StopReason};
+pub use tie_break::{pick_uniform, TieBreak};
 
 #[cfg(test)]
 mod tests {

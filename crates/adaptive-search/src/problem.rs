@@ -2,9 +2,10 @@
 //!
 //! Like the original AS C library used in the paper, the engine in this crate is
 //! specialised to *permutation problems*: the configuration is a permutation of
-//! `1..=n` and the elementary move is a swap of two positions.  All four models
-//! shipped in this crate (Costas, N-Queens, All-Interval, Magic Square) fit this
-//! shape, which is also what makes the `alldifferent` constraint implicit.
+//! `1..=n` and the elementary move is a swap of two positions.  All six models
+//! shipped in this crate (Costas, N-Queens, All-Interval, Magic Square, Langford,
+//! number partitioning — see the [`crate::problems`] registry) fit this shape,
+//! which is also what makes the `alldifferent` constraint implicit.
 //!
 //! A problem implementation owns its incremental bookkeeping (e.g. the Costas model
 //! wraps a [`costas::ConflictTable`]); the engine only ever talks to it through this
@@ -22,7 +23,7 @@
 //!   is ever applied.
 //! * **Error maintenance** — [`PermutationProblem::cached_errors`] exposes the
 //!   per-variable error vector the culprit selection reads each iteration.
-//!   Implementations that maintain it incrementally (all four shipped models do)
+//!   Implementations that maintain it incrementally (all six shipped models do)
 //!   make selection a cheap read; the default (`None`) keeps third-party
 //!   implementations source-compatible, with the engine falling back to the
 //!   recomputing [`PermutationProblem::variable_errors`].
@@ -160,6 +161,55 @@ pub trait PermutationProblem {
     /// Is the current configuration a solution?
     fn is_solution(&self) -> bool {
         self.global_cost() == 0
+    }
+}
+
+/// Forwarding impl so boxed problems (e.g. the trait objects built by the
+/// [`crate::problems`] registry) are themselves [`PermutationProblem`]s and can
+/// drive an [`crate::Engine`] directly.
+///
+/// Every method is forwarded explicitly — including the ones with default bodies —
+/// so boxing never reroutes a model's overridden probe, cache or reset onto the
+/// trait defaults.
+impl<T: PermutationProblem + ?Sized> PermutationProblem for Box<T> {
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+    fn set_configuration(&mut self, values: &[usize]) {
+        (**self).set_configuration(values);
+    }
+    fn configuration(&self) -> &[usize] {
+        (**self).configuration()
+    }
+    fn global_cost(&self) -> u64 {
+        (**self).global_cost()
+    }
+    fn variable_errors(&self, out: &mut Vec<u64>) {
+        (**self).variable_errors(out);
+    }
+    fn cached_errors(&self) -> Option<&[u64]> {
+        (**self).cached_errors()
+    }
+    fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
+        (**self).delta_for_swap(i, j)
+    }
+    fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
+        (**self).probe_partners(culprit, out);
+    }
+    fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
+        (**self).cost_after_swap(i, j)
+    }
+    fn apply_swap(&mut self, i: usize, j: usize) {
+        (**self).apply_swap(i, j);
+    }
+    fn custom_reset(&mut self, worst_var: usize, rng: &mut dyn Rng64) -> Option<u64> {
+        (**self).custom_reset(worst_var, rng)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_solution(&self) -> bool {
+        (**self).is_solution()
     }
 }
 

@@ -2,7 +2,9 @@
 
 use std::time::{Duration, Instant};
 
-use adaptive_search::{AsConfig, CostasModelConfig, CostasProblem, Engine};
+use adaptive_search::problems;
+use adaptive_search::termination::{DeadlineStop, NeverStop};
+use adaptive_search::{AsConfig, CostasModelConfig, CostasProblem, Engine, SolveResult};
 use costas::CostModel;
 
 /// Resource budget for one solve call.
@@ -125,6 +127,62 @@ impl AdaptiveSearchSolver {
     }
 }
 
+/// Run an engine under both halves of a [`SolverBudget`]: the move budget is the
+/// engine's iteration budget (already applied by the caller via `max_iterations`)
+/// and the wall-clock budget becomes a polled [`DeadlineStop`].  An effectively
+/// unlimited `max_time` (one that overflows `Instant` arithmetic) degrades to no
+/// deadline at all.
+fn solve_within<P: adaptive_search::PermutationProblem>(
+    engine: &mut Engine<P>,
+    budget: &SolverBudget,
+) -> SolveResult {
+    match Instant::now().checked_add(budget.max_time) {
+        Some(deadline) => engine.solve_until(&mut DeadlineStop::at(deadline)),
+        None => engine.solve_until(&mut NeverStop),
+    }
+}
+
+/// Solve any workload of the [`adaptive_search::problems`] registry by key with
+/// the real Adaptive Search engine, under the same budget/result conventions as
+/// the [`CostasSolver`] baselines (so harness tables can mix Costas baselines and
+/// registry workloads).
+///
+/// Uses the model's registry default configuration; `size` has the per-model
+/// semantics documented in [`adaptive_search::ProblemInfo::size_unit`].  The
+/// result's `solved` flag is only set when the model's independent known-optimum
+/// predicate accepts the final configuration — never on the searcher's own
+/// cost bookkeeping alone.
+///
+/// Returns `None` for unknown keys.
+pub fn solve_registry(
+    key: &str,
+    size: usize,
+    seed: u64,
+    budget: &SolverBudget,
+) -> Option<BaselineResult> {
+    let info = problems::find(key)?;
+    let config = AsConfig {
+        max_iterations: budget.max_moves,
+        ..(info.default_config)(size)
+    };
+    let mut engine = Engine::new((info.build)(size), config, seed);
+    let result = solve_within(&mut engine, budget);
+    let solved = result.is_solved()
+        && result
+            .solution
+            .as_deref()
+            .is_some_and(|s| (info.is_optimum)(s));
+    Some(BaselineResult {
+        solver: info.key,
+        solved,
+        solution: result.solution.filter(|_| solved),
+        moves: result.stats.iterations,
+        restarts: result.stats.restarts + result.stats.resets,
+        elapsed: result.elapsed,
+        best_cost: result.best_cost,
+    })
+}
+
 impl CostasSolver for AdaptiveSearchSolver {
     fn name(&self) -> &'static str {
         "adaptive-search"
@@ -137,7 +195,7 @@ impl CostasSolver for AdaptiveSearchSolver {
         };
         let problem = CostasProblem::with_config(n, self.model);
         let mut engine = Engine::new(problem, config, seed);
-        let result = engine.solve();
+        let result = solve_within(&mut engine, budget);
         BaselineResult {
             solver: self.name(),
             solved: result.is_solved(),
@@ -185,6 +243,54 @@ mod tests {
         assert!(!r.solved);
         assert!(r.moves <= 26);
         assert!(r.best_cost > 0);
+    }
+
+    #[test]
+    fn registry_dispatch_solves_every_workload_on_a_small_instance() {
+        for info in problems::registry() {
+            let size = info.solvable_sizes[0];
+            let r = solve_registry(info.key, size, 5, &SolverBudget::unlimited())
+                .expect("registered key");
+            assert!(r.solved, "{} (size {size})", info.key);
+            assert_eq!(r.solver, info.key);
+            assert!((info.is_optimum)(r.solution.as_ref().unwrap()));
+        }
+        assert!(solve_registry("no-such-model", 5, 1, &SolverBudget::unlimited()).is_none());
+    }
+
+    #[test]
+    fn registry_dispatch_respects_move_budget() {
+        let r = solve_registry("costas", 18, 3, &SolverBudget::moves(25)).unwrap();
+        assert!(!r.solved);
+        assert!(r.moves <= 26);
+        assert!(r.solution.is_none());
+    }
+
+    #[test]
+    fn registry_dispatch_respects_wall_clock_budget() {
+        // CAP 24 is far beyond an instant solve; a 20 ms deadline must bound the
+        // run (the engine polls the deadline every stop_check_interval
+        // iterations, tens of thousands of times per second on this instance).
+        let budget = SolverBudget::time(Duration::from_millis(20));
+        let start = Instant::now();
+        let r = solve_registry("costas", 24, 1, &budget).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "deadline ignored"
+        );
+        assert!(!r.solved);
+    }
+
+    #[test]
+    fn adaptive_search_adapter_respects_wall_clock_budget() {
+        let mut solver = AdaptiveSearchSolver::default();
+        let start = Instant::now();
+        let r = solver.solve(24, 1, &SolverBudget::time(Duration::from_millis(20)));
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "deadline ignored"
+        );
+        assert!(!r.solved);
     }
 
     #[test]

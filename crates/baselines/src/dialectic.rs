@@ -22,6 +22,7 @@
 
 use std::time::Instant;
 
+use adaptive_search::TieBreak;
 use costas::{ConflictTable, CostModel};
 use xrand::{default_rng, random_permutation, DefaultRng, RandExt};
 
@@ -75,11 +76,13 @@ impl DialecticSearch {
         table: &mut ConflictTable,
         antithesis: &[usize],
         best_cost_so_far: u64,
+        rng: &mut DefaultRng,
     ) -> (Vec<usize>, u64, u64) {
         let n = antithesis.len();
         let mut best_values = table.values().to_vec();
         let mut best_cost = best_cost_so_far;
         let mut evaluated = 0u64;
+        let mut best_move = TieBreak::with_capacity(n);
         loop {
             // positions whose value still differs from the antithesis
             let mismatched: Vec<usize> = (0..n)
@@ -89,8 +92,9 @@ impl DialecticSearch {
                 break;
             }
             // candidate repair: put antithesis[i] at position i by swapping position i
-            // with the current holder of that value
-            let mut best_move: Option<(usize, usize, u64)> = None;
+            // with the current holder of that value; equal-cost repairs tie-break
+            // uniformly through the shared accumulator
+            best_move.clear();
             for &i in &mismatched {
                 let target_value = antithesis[i];
                 let j = table
@@ -101,11 +105,17 @@ impl DialecticSearch {
                 // read-only delta probe: nothing to un-apply
                 let cost = (table.cost() as i64 + table.delta_for_swap(i, j)) as u64;
                 evaluated += 1;
-                if best_move.map(|(_, _, c)| cost < c).unwrap_or(true) {
-                    best_move = Some((i, j, cost));
-                }
+                best_move.offer_min(i, cost);
             }
-            let (i, j, cost) = best_move.expect("at least one mismatched position");
+            let i = best_move
+                .pick(rng)
+                .expect("at least one mismatched position");
+            let j = table
+                .values()
+                .iter()
+                .position(|&v| v == antithesis[i])
+                .expect("value exists in a permutation");
+            let cost = best_move.best().expect("at least one mismatched position");
             table.apply_swap(i, j);
             if cost < best_cost {
                 best_cost = cost;
@@ -146,7 +156,7 @@ impl CostasSolver for DialecticSearch {
             let antithesis = self.antithesis(&thesis, &mut rng);
             table.reset_to(&thesis);
             let (synth_values, synth_cost, evaluated) =
-                Self::synthesis(&mut table, &antithesis, thesis_cost);
+                Self::synthesis(&mut table, &antithesis, thesis_cost, &mut rng);
             moves += evaluated.max(1);
 
             if synth_cost < best_cost {

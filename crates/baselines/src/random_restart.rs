@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use adaptive_search::TieBreak;
 use costas::{ConflictTable, CostModel};
 use xrand::{default_rng, random_permutation, RandExt};
 
@@ -57,6 +58,7 @@ impl CostasSolver for RandomRestartHillClimbing {
         // scratch buffers reused across climbs
         let mut probe: Vec<u64> = Vec::with_capacity(n);
         let mut conflicted: Vec<usize> = Vec::with_capacity(n);
+        let mut best_partner = TieBreak::with_capacity(n);
 
         'outer: loop {
             // fresh random configuration
@@ -95,27 +97,25 @@ impl CostasSolver for RandomRestartHillClimbing {
                     break;
                 }
                 let var = conflicted[rng.index(conflicted.len())];
-                // batched read-only probe of every candidate partner
+                // batched read-only probe of every candidate partner; equal-cost
+                // partners tie-break uniformly through the shared accumulator
                 table.probe_partners(var, &mut probe);
-                let mut best_partner = var;
-                let mut best_after = u64::MAX;
+                best_partner.clear();
                 for (j, &c) in probe.iter().enumerate() {
-                    if j == var {
-                        continue;
-                    }
-                    if c < best_after {
-                        best_after = c;
-                        best_partner = j;
+                    if j != var {
+                        best_partner.offer_min(j, c);
                     }
                 }
+                let best_after = best_partner.best().expect("n ≥ 2 partners");
+                let partner = best_partner.pick(&mut rng).expect("n ≥ 2 partners");
                 moves += 1;
                 climb_moves += 1;
                 let current = table.cost();
                 if best_after < current {
-                    table.apply_swap(var, best_partner);
+                    table.apply_swap(var, partner);
                     sideways = 0;
                 } else if best_after == current && sideways < self.config.max_sideways {
-                    table.apply_swap(var, best_partner);
+                    table.apply_swap(var, partner);
                     sideways += 1;
                 } else {
                     // strict local minimum for this variable: give up this climb

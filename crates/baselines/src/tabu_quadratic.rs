@@ -13,6 +13,7 @@
 
 use std::time::Instant;
 
+use adaptive_search::TieBreak;
 use costas::{ConflictTable, CostModel};
 use xrand::{default_rng, random_permutation};
 
@@ -69,8 +70,10 @@ impl CostasSolver for QuadraticTabuSearch {
         let mut best_values = table.values().to_vec();
         let mut since_improvement = 0u64;
         let mut restarts = 0u64;
-        // read-only probe buffer reused across the quadratic sweeps
+        // read-only probe buffer reused across the quadratic sweeps; candidate
+        // moves are flattened to i·n + j for the shared tie-break accumulator
         let mut probe: Vec<u64> = Vec::with_capacity(n);
+        let mut best_move = TieBreak::with_capacity(n);
 
         while best_cost > 0 && !budget.exhausted(start, iteration) {
             iteration += 1;
@@ -79,28 +82,25 @@ impl CostasSolver for QuadraticTabuSearch {
             // Full quadratic sweep through the read-only batched probe: one
             // upper-triangle probe per row hoists the "remove row i's pairs" pass
             // over the whole row instead of paying apply + un-apply per cell, and
-            // skips the j < i half the sweep never reads.
-            let mut best_move: Option<(usize, usize, u64)> = None;
+            // skips the j < i half the sweep never reads.  Equal-cost admissible
+            // moves tie-break uniformly (single draw), as in the engine.
+            best_move.clear();
             for i in 0..n {
                 table.probe_partners_above(i, &mut probe);
                 for j in (i + 1)..n {
                     let cost = probe[j];
                     let tabu = tabu_until[i * n + j] > iteration;
                     let aspires = cost < best_cost;
-                    if tabu && !aspires {
-                        continue;
-                    }
-                    let better = match best_move {
-                        None => true,
-                        Some((_, _, c)) => cost < c,
-                    };
-                    if better {
-                        best_move = Some((i, j, cost));
+                    if !tabu || aspires {
+                        best_move.offer_min(i * n + j, cost);
                     }
                 }
             }
 
-            match best_move {
+            match best_move.pick(&mut rng).map(|flat| {
+                let (i, j) = (flat / n, flat % n);
+                (i, j, best_move.best().expect("non-empty tie set"))
+            }) {
                 Some((i, j, cost)) => {
                     table.apply_swap(i, j);
                     tabu_until[i * n + j] = iteration + self.config.tenure;

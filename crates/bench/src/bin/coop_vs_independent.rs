@@ -19,13 +19,17 @@
 //! `COSTAS_BENCH_JSON`) that the CI `bench-smoke` job uploads so the perf trajectory
 //! accumulates.  `COSTAS_COOP_INTERVAL` overrides the exchange interval.
 //!
-//! Schema v2 added a `probe_throughput` section — engine steps/sec for all four
-//! models (see the `probe_throughput` harness) — so the single committed
+//! Schema v2 added a `probe_throughput` section — engine steps/sec per model
+//! (see the `probe_throughput` harness) — so the single committed
 //! `BENCH_dev.json` tracks both the scaling shape and the raw probe-path speed.
 //! Schema v3 keeps every v2 field byte-compatible (steps/sec stays directly
 //! comparable across artefacts) and extends each throughput entry with the
 //! `culprit_scans` / `culprit_fast_selects` selection-path counters introduced by
-//! the error-maintenance layer.
+//! the error-maintenance layer.  Schema v4 changes no field either: the
+//! throughput section is now driven by the problem registry
+//! ([`adaptive_search::problems`]), so it covers all six registered workloads —
+//! the four seed models plus `langford` and `number-partitioning` — and grows
+//! automatically with future registrations.
 
 use bench::protocol::{cooperative_cell, parallel_cell, CellMode, CellSummary, CoopCellSummary};
 use bench::throughput::standard_models;
@@ -125,8 +129,9 @@ fn main() {
     let csv_path = write_csv("coop_vs_independent.csv", &table.to_csv());
     println!("CSV written to {}", csv_path.display());
 
-    // Schema v2+ rider: probe throughput (engine steps/sec) for all four models, so
-    // the perf trajectory of the probe path accumulates alongside the scaling data.
+    // Schema v2+ rider: probe throughput (engine steps/sec) for every registered
+    // model, so the perf trajectory of the probe path accumulates alongside the
+    // scaling data.
     // Deliberately not tied to COSTAS_RUNS: the cell repetition count and the step
     // count needed for a stable steps/sec reading are unrelated quantities.
     let throughput_steps: u64 = if options.full { 200_000 } else { 20_000 };
@@ -143,7 +148,7 @@ fn main() {
     println!("\n{}", throughput_table.render());
 
     let doc = Json::object(vec![
-        ("schema", Json::from("coop_vs_independent/v3")),
+        ("schema", Json::from("coop_vs_independent/v4")),
         ("n", Json::from(n)),
         ("runs", Json::from(runs)),
         ("master_seed", Json::from(options.master_seed)),

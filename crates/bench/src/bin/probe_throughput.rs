@@ -1,18 +1,21 @@
 //! **Probe throughput** — engine steps/sec per model, the direct measure of the
 //! read-only delta-evaluation layer.
 //!
-//! Protocol: for each of the four models (Costas 18, N-Queens 100, All-Interval
-//! 50, Magic Square 10×10) run one Adaptive Search walk for a fixed number of
-//! engine steps and report steps per second.  An engine step is culprit selection
-//! plus the min-conflict probe of all `n − 1` candidate partners, so steps/sec
-//! tracks both the batched `probe_partners` path and the error-maintenance layer
-//! behind selection; regressions on this number mean one of those paths got
-//! slower.
+//! Protocol: for every workload of the problem registry
+//! ([`adaptive_search::problems`]: Costas 18, N-Queens 100, All-Interval 50,
+//! Magic Square 10×10, Langford L(2, 32), number partitioning 64) run one
+//! Adaptive Search walk for a fixed number of engine steps and report steps per
+//! second.  An engine step is culprit selection plus the min-conflict probe of
+//! all `n − 1` candidate partners, so steps/sec tracks both the batched
+//! `probe_partners` path and the error-maintenance layer behind selection;
+//! regressions on this number mean one of those paths got slower.  New workloads
+//! appear here automatically when registered.
 //!
 //! Output: the throughput table on stdout, a CSV under `target/experiments/`, and
-//! a machine-readable `BENCH_*.json` artefact (schema `probe_throughput/v2`,
-//! which extends v1 with per-model `culprit_scans` / `culprit_fast_selects`
-//! selection-path counters; path overridable with `COSTAS_BENCH_JSON`) that the
+//! a machine-readable `BENCH_*.json` artefact (schema `probe_throughput/v3`: the
+//! v2 per-model fields unchanged — steps/sec stays directly comparable — with the
+//! model list now registry-driven, i.e. extended by `langford` and
+//! `number-partitioning`; path overridable with `COSTAS_BENCH_JSON`) that the
 //! CI `bench-smoke` job uploads.  `COSTAS_RUNS` overrides the step count.
 
 use bench::throughput::standard_models;
@@ -22,8 +25,8 @@ use runtime_stats::{Json, TextTable};
 fn main() {
     let options = HarnessOptions::from_env();
     banner(
-        "Probe throughput (engine steps/sec per model)",
-        "one walk per model; every step probes all n-1 partners of the culprit",
+        "Probe throughput (engine steps/sec per registered model)",
+        "one walk per registry workload; every step probes all n-1 partners of the culprit",
         &options,
     );
     let steps = options.runs(50_000, 500_000) as u64;
@@ -44,7 +47,7 @@ fn main() {
     println!("CSV written to {}", csv_path.display());
 
     let doc = Json::object(vec![
-        ("schema", Json::from("probe_throughput/v2")),
+        ("schema", Json::from("probe_throughput/v3")),
         ("steps", Json::from(steps)),
         ("master_seed", Json::from(options.master_seed)),
         (

@@ -14,10 +14,8 @@
 
 use std::time::Instant;
 
-use adaptive_search::all_interval::AllIntervalProblem;
-use adaptive_search::magic_square::MagicSquareProblem;
-use adaptive_search::queens::QueensProblem;
-use adaptive_search::{AsConfig, CostasProblem, Engine, PermutationProblem, StepOutcome};
+use adaptive_search::problems;
+use adaptive_search::{AsConfig, Engine, PermutationProblem, StepOutcome};
 use runtime_stats::Json;
 
 /// Steps/sec measurement of one model.
@@ -92,41 +90,45 @@ pub fn engine_throughput<P: PermutationProblem>(
     }
 }
 
-/// Measure all four models with the standard instance sizes: Costas 18, N-Queens
-/// 100, All-Interval 50, Magic Square 10×10.
+/// Measure every registered workload at its standard bench size (see
+/// [`adaptive_search::problems::registry`]: Costas 18, N-Queens 100, All-Interval
+/// 50, Magic Square 10×10, Langford L(2, 32), number partitioning 64), each under
+/// its registry default configuration.
 pub fn standard_models(steps: u64, seed: u64) -> Vec<ThroughputSample> {
-    let generic = AsConfig::builder().use_custom_reset(false).build();
-    vec![
-        engine_throughput(
-            CostasProblem::new(18),
-            AsConfig::costas_defaults(18),
-            seed,
-            steps,
-        ),
-        engine_throughput(QueensProblem::new(100), generic.clone(), seed, steps),
-        engine_throughput(AllIntervalProblem::new(50), generic.clone(), seed, steps),
-        engine_throughput(MagicSquareProblem::new(10), generic, seed, steps),
-    ]
+    problems::registry()
+        .iter()
+        .map(|info| {
+            engine_throughput(
+                (info.build)(info.bench_size),
+                (info.default_config)(info.bench_size),
+                seed,
+                steps,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adaptive_search::CostasProblem;
 
     #[test]
-    fn measures_all_four_models() {
+    fn measures_every_registered_model() {
         let samples = standard_models(200, 7);
-        assert_eq!(samples.len(), 4);
+        assert_eq!(samples.len(), problems::registry().len());
         let names: Vec<&str> = samples.iter().map(|s| s.model).collect();
-        assert_eq!(
-            names,
-            vec!["costas", "n-queens", "all-interval", "magic-square"]
-        );
+        let keys: Vec<&str> = problems::keys().collect();
+        assert_eq!(names, keys, "registry order is the artefact order");
         for s in &samples {
             assert_eq!(s.steps, 200);
             assert!(s.steps_per_sec > 0.0, "{}", s.model);
             assert!(s.seconds > 0.0);
-            assert!(s.size >= 18);
+            assert!(
+                s.size >= 18,
+                "{}: bench instances must not be toys",
+                s.model
+            );
         }
     }
 

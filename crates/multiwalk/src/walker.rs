@@ -1,20 +1,32 @@
 //! Walk specification: what every independent walk of a multi-walk job runs.
 
+use adaptive_search::problems::{self, DynProblem};
 use adaptive_search::{AsConfig, CostasModelConfig, CostasProblem, Engine};
 use xrand::ChaoticSeeder;
 
 /// The instance and configuration shared by every walk of a multi-walk job.
+///
+/// Walks are dispatched through the workload registry
+/// ([`adaptive_search::problems`]): the spec names a registered problem by key and
+/// carries the instance parameter, so the same runners drive the Costas Array
+/// Problem, N-Queens, Langford, number partitioning, … without a per-model code
+/// path.  The Costas key additionally honours the [`CostasModelConfig`] override
+/// (basic vs. optimised cost model), which the ablation benches rely on.
 ///
 /// Each walk differs only in its random seed, which is derived from the job's master
 /// seed through the chaotic-map seeder (paper §III-B3) so that ranks 0, 1, 2, … get
 /// decorrelated streams.
 #[derive(Debug, Clone)]
 pub struct WalkSpec {
-    /// Order of the CAP instance.
+    /// Registry key of the problem every walk solves (see
+    /// [`adaptive_search::problems::registry`]).
+    pub problem: &'static str,
+    /// Instance parameter (per-model semantics: order, board side, pair count, …).
     pub n: usize,
-    /// Cost-model configuration (optimised by default).
+    /// Cost-model configuration, applied when `problem == "costas"` (other models
+    /// have no model options).
     pub model: CostasModelConfig,
-    /// Engine configuration (paper defaults by default).
+    /// Engine configuration (the problem's registry default by default).
     pub config: AsConfig,
 }
 
@@ -22,13 +34,30 @@ impl WalkSpec {
     /// The paper's configuration for a CAP instance of order `n`.
     pub fn costas(n: usize) -> Self {
         Self {
+            problem: "costas",
             n,
             model: CostasModelConfig::optimized(),
             config: AsConfig::costas_defaults(n),
         }
     }
 
-    /// Override the cost model.
+    /// A spec for any registered workload, with the model's default engine
+    /// configuration from the registry.
+    ///
+    /// # Panics
+    /// Panics if `key` is not a registered problem.
+    pub fn for_problem(key: &str, n: usize) -> Self {
+        let info = problems::find(key)
+            .unwrap_or_else(|| panic!("unknown problem key {key:?}; see problems::registry()"));
+        Self {
+            problem: info.key,
+            n,
+            model: CostasModelConfig::optimized(),
+            config: (info.default_config)(n),
+        }
+    }
+
+    /// Override the cost model (meaningful for the `"costas"` key only).
     pub fn with_model(mut self, model: CostasModelConfig) -> Self {
         self.model = model;
         self
@@ -50,11 +79,20 @@ impl WalkSpec {
         ChaoticSeeder::new(master_seed)
     }
 
+    /// Build one problem instance for this spec (registry dispatch; the Costas key
+    /// honours the model override).
+    pub fn build_problem(&self) -> DynProblem {
+        if self.problem == "costas" {
+            Box::new(CostasProblem::with_config(self.n, self.model))
+        } else {
+            problems::build(self.problem, self.n).expect("spec holds a registered key")
+        }
+    }
+
     /// Build the engine for a given rank of a job seeded with `master_seed`.
-    pub fn build_engine(&self, master_seed: u64, rank: usize) -> Engine<CostasProblem> {
+    pub fn build_engine(&self, master_seed: u64, rank: usize) -> Engine<DynProblem> {
         let seed = self.seeder(master_seed).seed_for_rank(rank as u64);
-        let problem = CostasProblem::with_config(self.n, self.model);
-        Engine::new(problem, self.config.clone(), seed)
+        Engine::new(self.build_problem(), self.config.clone(), seed)
     }
 }
 
@@ -83,7 +121,26 @@ mod tests {
         assert_eq!(spec.check_interval(), 17);
         let engine = spec.build_engine(1, 0);
         assert_eq!(engine.problem().size(), 9);
-        assert!(!engine.problem().config().dedicated_reset);
+        assert_eq!(engine.problem().name(), "costas");
+    }
+
+    #[test]
+    fn spec_dispatches_any_registered_problem_by_key() {
+        for info in adaptive_search::problems::registry() {
+            let n = info.test_sizes[info.test_sizes.len() - 1];
+            let spec = WalkSpec::for_problem(info.key, n);
+            assert_eq!(spec.problem, info.key);
+            let engine = spec.build_engine(3, 0);
+            assert_eq!(engine.problem().name(), info.key);
+            // the registry default config rode along
+            assert_eq!(spec.config, (info.default_config)(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown problem key")]
+    fn unknown_keys_are_rejected() {
+        let _ = WalkSpec::for_problem("no-such-model", 5);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Domain independence: the same Adaptive Search engine on three classical CSPs.
+//! Domain independence: the same Adaptive Search engine on five classical CSPs.
 //!
 //! ```text
 //! cargo run --release --example beyond_costas
@@ -6,14 +6,16 @@
 //!
 //! Adaptive Search is a *generic* constraint-based local search method (paper §III);
 //! the Costas model is just one `PermutationProblem` implementation.  This example
-//! runs the very same engine on the three other models shipped with the library —
-//! N-Queens, the All-Interval Series (CSPLib prob007) and the Magic Square (CSPLib
-//! prob019), the benchmarks the paper quotes when comparing AS with Comet and
-//! Dialectic Search — and prints the solutions it finds.
+//! runs the very same engine on the other models shipped with the library —
+//! N-Queens, the All-Interval Series (CSPLib prob007), the Magic Square (CSPLib
+//! prob019), Langford's problem (CSPLib prob024) and number partitioning (CSPLib
+//! prob049) — and prints the solutions it finds, closing with a registry-driven
+//! sweep over every workload in `adaptive_search::problems`.
 
 use costas_lab::adaptive_search::{
-    all_interval::AllIntervalProblem, magic_square::MagicSquareProblem, queens::QueensProblem,
-    AsConfig, Engine, PermutationProblem,
+    all_interval::AllIntervalProblem, langford::LangfordProblem, magic_square::MagicSquareProblem,
+    partition::PartitionProblem, problems, queens::QueensProblem, AsConfig, Engine,
+    PermutationProblem,
 };
 
 fn solve_and_report<P: PermutationProblem>(problem: P, label: &str, seed: u64) -> Vec<usize> {
@@ -31,7 +33,7 @@ fn solve_and_report<P: PermutationProblem>(problem: P, label: &str, seed: u64) -
 }
 
 fn main() {
-    println!("=== One engine, four constraint models ===\n");
+    println!("=== One engine, six constraint models ===\n");
 
     // N-Queens, n = 64: only diagonal constraints remain under the permutation model.
     let queens = solve_and_report(QueensProblem::new(64), "N-Queens (n=64)", 1);
@@ -65,6 +67,18 @@ fn main() {
         assert_eq!(row.iter().sum::<usize>(), 34);
     }
 
+    // Langford L(2, 8): both copies of k exactly k cells apart.
+    let langford = solve_and_report(LangfordProblem::new(8), "Langford L(2,8)", 4);
+    let as_numbers: Vec<usize> = langford.iter().map(|v| v.div_ceil(2)).collect();
+    println!("    numbers   : {as_numbers:?}");
+
+    // Number partitioning, n = 16: equal sums and equal square sums.
+    let partition = solve_and_report(PartitionProblem::new(16), "Partition (n=16)", 5);
+    let (a, b) = partition.split_at(8);
+    println!("    group A   : {a:?} (Σ {})", a.iter().sum::<usize>());
+    println!("    group B   : {b:?} (Σ {})", b.iter().sum::<usize>());
+    assert_eq!(a.iter().sum::<usize>(), b.iter().sum::<usize>());
+
     // And the Costas Array Problem itself, for completeness.
     let costas = costas_lab::prelude::solve_costas(13, 4);
     println!(
@@ -75,4 +89,30 @@ fn main() {
         costas.elapsed.as_secs_f64()
     );
     println!("    array     : {:?}", costas.solution.unwrap());
+
+    // The registry view: everything above, dispatched by key with per-model
+    // metadata (default configuration, known-optimum predicate).
+    println!("\n=== The same sweep, driven by the problem registry ===\n");
+    for info in problems::registry() {
+        let size = *info.solvable_sizes.last().unwrap();
+        let mut engine = Engine::new((info.build)(size), (info.default_config)(size), 42);
+        let result = engine.solve();
+        let verified = result
+            .solution
+            .as_deref()
+            .is_some_and(|s| (info.is_optimum)(s));
+        println!(
+            "{:<22} ({:>3} vars) solved={} verified={} in {:>8} iterations",
+            info.key,
+            (info.build)(size).size(),
+            result.is_solved(),
+            verified,
+            result.stats.iterations,
+        );
+        assert!(
+            verified,
+            "{} must verify via its optimum predicate",
+            info.key
+        );
+    }
 }

@@ -10,7 +10,7 @@
 //! | Re-export | Crate | Contents |
 //! |---|---|---|
 //! | [`costas`] | `costas` | Costas-array domain: difference triangle, validity, symmetry, Welch/Golomb constructions, enumeration, incremental conflict table |
-//! | [`adaptive_search`] | `adaptive-search` | The Adaptive Search metaheuristic, the CAP model (§IV), and the N-Queens / All-Interval / Magic-Square models |
+//! | [`adaptive_search`] | `adaptive-search` | The Adaptive Search metaheuristic, the CAP model (§IV), the N-Queens / All-Interval / Magic-Square / Langford / number-partitioning models, and the string-keyed workload registry (`problems`) |
 //! | [`multiwalk`] | `multiwalk` | Independent + cooperative multi-walk runners (threads, message passing) and the virtual cluster simulator (§V) |
 //! | [`mpi_sim`] | `mpi-sim` | MPI-shaped in-process message passing (ranks, iprobe, collectives) |
 //! | [`runtime_stats`] | `runtime-stats` | Time-to-target plots, shifted-exponential fits, speed-up models, table rendering |
@@ -50,8 +50,9 @@ pub use xrand;
 /// The most common imports, for examples and quick experiments.
 pub mod prelude {
     pub use adaptive_search::{
-        solve_costas, AsConfig, CostasModelConfig, CostasProblem, Engine, PermutationProblem,
-        SearchStats, SequentialDriver, SolveResult, SolveStatus,
+        problems, solve_costas, AsConfig, CostasModelConfig, CostasProblem, DynProblem, Engine,
+        PermutationProblem, ProblemInfo, SearchStats, SequentialDriver, SolveResult, SolveStatus,
+        TieBreak,
     };
     pub use costas::{
         golomb_construction, is_costas_permutation, welch_construction, CostasArray,

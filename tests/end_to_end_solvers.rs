@@ -1,8 +1,11 @@
 //! Cross-crate integration tests: every solver in the workspace, from the public API,
 //! produces verified Costas arrays, and their outputs agree with the domain crate's
-//! oracles (validity check, enumeration, constructions).
+//! oracles (validity check, enumeration, constructions).  The registry-level tests
+//! at the bottom cover every workload of `adaptive_search::problems` — solvability
+//! on known-solvable instances and bit-identical deterministic replay.
 
-use baselines::{all_solvers, SolverBudget};
+use adaptive_search::{problems, AsConfig, Engine};
+use baselines::{all_solvers, solve_registry, SolverBudget};
 use costas_lab::prelude::*;
 
 #[test]
@@ -59,6 +62,62 @@ fn constructions_and_search_produce_equally_valid_arrays() {
     assert!(is_costas_permutation(golomb.values()));
     let searched = solve_costas(12, 5).solution.unwrap();
     assert!(is_costas_permutation(&searched));
+}
+
+/// Deterministic-replay regression: for every registered workload, the same seed
+/// and the same registry key produce a **bit-identical** run — same status, same
+/// solution, same cost trajectory endpoints, same statistics counters — across
+/// two independently constructed engines.  The iteration budget is capped so the
+/// property holds (and stays fast) whether or not the instance solves in time.
+#[test]
+fn deterministic_replay_for_every_registry_key() {
+    for info in problems::registry() {
+        let size = *info.solvable_sizes.last().expect("registry lists sizes");
+        let config = AsConfig {
+            max_iterations: 2_000,
+            ..(info.default_config)(size)
+        };
+        let run = |seed: u64| {
+            let mut engine = Engine::new((info.build)(size), config.clone(), seed);
+            let result = engine.solve();
+            (
+                result.status,
+                result.solution,
+                result.final_cost,
+                result.best_cost,
+                result.stats,
+            )
+        };
+        for seed in [1u64, 0xDEAD_BEEF] {
+            let a = run(seed);
+            let b = run(seed);
+            assert_eq!(a, b, "{} (size {size}, seed {seed})", info.key);
+        }
+    }
+}
+
+/// Every registered workload solves its registry-declared solvable instances end
+/// to end, and the claimed solutions pass the model's independent known-optimum
+/// predicate.
+#[test]
+fn registry_workloads_solve_their_known_solvable_instances() {
+    for info in problems::registry() {
+        for &size in info.solvable_sizes {
+            let result = solve_registry(
+                info.key,
+                size,
+                2024 + size as u64,
+                &SolverBudget::unlimited(),
+            )
+            .expect("registered key");
+            assert!(result.solved, "{} (size {size})", info.key);
+            assert!(
+                (info.is_optimum)(result.solution.as_ref().unwrap()),
+                "{} (size {size}): claimed solution fails the optimum predicate",
+                info.key
+            );
+        }
+    }
 }
 
 #[test]
