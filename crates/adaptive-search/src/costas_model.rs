@@ -340,6 +340,14 @@ impl PermutationProblem for CostasProblem {
         self.table.probe_partners(culprit, out);
     }
 
+    fn probe_partners_reference(&self, culprit: usize, out: &mut Vec<u64>) {
+        self.table.probe_partners_reference(culprit, out);
+    }
+
+    fn has_accelerated_probe(&self) -> bool {
+        self.table.has_probe_kernel()
+    }
+
     fn apply_swap(&mut self, i: usize, j: usize) {
         self.table.apply_swap(i, j);
     }

@@ -317,6 +317,20 @@ impl<P: PermutationProblem> Engine<P> {
     /// probe buffer is engine scratch).
     fn best_swap_for(&mut self, culprit: usize) -> (usize, u64) {
         self.problem.probe_partners(culprit, &mut self.probe);
+        // Kernel-equivalence cross-check: a model routing the probe through an
+        // accelerated (SWAR) kernel must agree bit-for-bit with its scalar
+        // reference on every neighbourhood the search actually visits.
+        #[cfg(debug_assertions)]
+        if self.problem.has_accelerated_probe() {
+            let mut reference = Vec::new();
+            self.problem
+                .probe_partners_reference(culprit, &mut reference);
+            debug_assert_eq!(
+                reference, self.probe,
+                "accelerated probe diverged from probe_partners_reference \
+                 (culprit {culprit})"
+            );
+        }
         self.swap_ties.clear();
         for (j, &cost) in self.probe.iter().enumerate() {
             if j != culprit {

@@ -116,6 +116,44 @@ pub trait PermutationProblem {
         }
     }
 
+    /// Scalar **reference implementation** of
+    /// [`PermutationProblem::probe_partners`]: always the plain per-pair delta
+    /// scan, even when `probe_partners` itself routes through an accelerated
+    /// (batched / SWAR) kernel.
+    ///
+    /// **Equivalence contract:** for every configuration and every `culprit`,
+    /// the vector written here must be *bit-for-bit* equal to what
+    /// `probe_partners` writes.  The conformance kit property-checks this over
+    /// random swap/reset/inject sequences for any model reporting
+    /// [`PermutationProblem::has_accelerated_probe`], and the engine
+    /// cross-checks it on the hot path under `debug_assertions`.
+    ///
+    /// Models overriding `probe_partners` with a *different algorithm* should
+    /// override this too, pointing it at their scalar path; the default (the
+    /// same per-pair fallback as the default `probe_partners`) is only a valid
+    /// reference for models that keep the default probe.
+    fn probe_partners_reference(&self, culprit: usize, out: &mut Vec<u64>) {
+        let n = self.size();
+        let current = self.global_cost();
+        out.clear();
+        out.resize(n, current);
+        for (j, slot) in out.iter_mut().enumerate() {
+            if j != culprit {
+                *slot = (current as i64 + self.delta_for_swap(culprit, j)) as u64;
+            }
+        }
+    }
+
+    /// Does [`PermutationProblem::probe_partners`] route through an accelerated
+    /// kernel that is *distinct* from [`probe_partners_reference`]
+    /// (e.g. the Costas SWAR kernel)?  When `true`, the conformance kit pins the
+    /// two bit-for-bit against each other; the default is `false`.
+    ///
+    /// [`probe_partners_reference`]: PermutationProblem::probe_partners_reference
+    fn has_accelerated_probe(&self) -> bool {
+        false
+    }
+
     /// Cost the configuration would have after swapping positions `i` and `j`.
     /// Must not change the observable configuration.
     ///
@@ -195,6 +233,12 @@ impl<T: PermutationProblem + ?Sized> PermutationProblem for Box<T> {
     }
     fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
         (**self).probe_partners(culprit, out);
+    }
+    fn probe_partners_reference(&self, culprit: usize, out: &mut Vec<u64>) {
+        (**self).probe_partners_reference(culprit, out);
+    }
+    fn has_accelerated_probe(&self) -> bool {
+        (**self).has_accelerated_probe()
     }
     fn cost_after_swap(&mut self, i: usize, j: usize) -> u64 {
         (**self).cost_after_swap(i, j)

@@ -13,6 +13,12 @@
 //!   with the from-scratch oracle *and* with the per-pair deltas for every
 //!   candidate, reports the current cost at the culprit slot, and neither probe
 //!   observably mutates the problem;
+//! * **(b′) kernel equivalence** — `probe_partners` agrees **bit-for-bit** with
+//!   the scalar `probe_partners_reference`, pinning any accelerated (SWAR)
+//!   kernel to its reference implementation on every visited neighbourhood
+//!   (models reporting `has_accelerated_probe` — currently Costas at n ≤ 32 —
+//!   get this as a real two-algorithm check; for everyone else it degenerates
+//!   to a tautology and costs one extra scalar probe);
 //! * **(c) error maintenance** — after every `apply_swap` /
 //!   `set_configuration` (the engine's swap, reset and injection paths all reduce
 //!   to those), the incremental cost, the recomputing `variable_errors` and the
@@ -161,6 +167,22 @@ pub fn assert_problem_conformance<P: PermutationProblem>(
                 problem.probe_partners(i, &mut probe);
                 assert_eq!(probe.len(), n);
                 assert_eq!(probe[i], cost, "culprit slot must hold the current cost");
+
+                // (b′) kernel equivalence, checked *before* the per-candidate
+                // oracle loop so a diverging accelerated kernel is reported as
+                // such rather than as a generic oracle mismatch.
+                let mut reference = Vec::new();
+                problem.probe_partners_reference(i, &mut reference);
+                assert_eq!(
+                    probe,
+                    reference,
+                    "probe_partners diverged from probe_partners_reference({i}) \
+                     at step {step} (n={n}, seed={seed}, accelerated={})",
+                    problem.has_accelerated_probe()
+                );
+                assert_eq!(problem.configuration(), &before[..]);
+                assert_eq!(problem.global_cost(), cost);
+
                 let mut candidate_swapped = before.clone();
                 for (candidate, &probed) in probe.iter().enumerate() {
                     candidate_swapped.copy_from_slice(&before);
@@ -333,6 +355,106 @@ fn conformance_driver_catches_a_stale_error_cache() {
         cache: vec![9; 6],
     };
     assert_problem_conformance(factory, 1, &[Op::Swap(1, 4)]);
+}
+
+/// A deliberately wrong *accelerated* probe — the scalar reference and the delta
+/// path are both correct, only the "kernel" lies — is caught by the bit-for-bit
+/// equivalence check (b′), and reported as a kernel divergence rather than a
+/// generic oracle mismatch.  This is the sentinel proving the equivalence layer
+/// actually bites.
+#[test]
+#[should_panic(expected = "probe_partners_reference")]
+fn conformance_driver_catches_a_diverging_kernel() {
+    struct BrokenKernel(Vec<usize>);
+    impl BrokenKernel {
+        fn misplaced(pos: usize, v: usize) -> i64 {
+            i64::from(v != pos + 1)
+        }
+    }
+    impl PermutationProblem for BrokenKernel {
+        fn size(&self) -> usize {
+            self.0.len()
+        }
+        fn set_configuration(&mut self, values: &[usize]) {
+            self.0 = values.to_vec();
+        }
+        fn configuration(&self) -> &[usize] {
+            &self.0
+        }
+        fn global_cost(&self) -> u64 {
+            self.0
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| v != i + 1)
+                .count() as u64
+        }
+        fn variable_errors(&self, out: &mut Vec<u64>) {
+            out.clear();
+            out.extend(
+                self.0
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| u64::from(v != i + 1)),
+            );
+        }
+        fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
+            if i == j {
+                return 0;
+            }
+            Self::misplaced(i, self.0[j]) + Self::misplaced(j, self.0[i])
+                - Self::misplaced(i, self.0[i])
+                - Self::misplaced(j, self.0[j])
+        }
+        fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
+            // The "accelerated" path: start from the correct per-pair scores,
+            // then simulate a lane-packing bug that corrupts one candidate.
+            let n = self.size();
+            let current = self.global_cost();
+            out.clear();
+            out.resize(n, current);
+            for (j, slot) in out.iter_mut().enumerate() {
+                if j != culprit {
+                    *slot = (current as i64 + self.delta_for_swap(culprit, j)) as u64;
+                }
+            }
+            out[(culprit + 1) % n] += 1;
+        }
+        fn has_accelerated_probe(&self) -> bool {
+            true
+        }
+        fn apply_swap(&mut self, i: usize, j: usize) {
+            self.0.swap(i, j);
+        }
+    }
+    assert_problem_conformance(|| BrokenKernel((1..=6).collect()), 1, &[Op::Swap(2, 5)]);
+}
+
+/// The Costas model advertises its SWAR kernel exactly on the orders the masks
+/// cover (n ≤ 32), and on both sides of the boundary the probe agrees
+/// bit-for-bit with the scalar reference over random configurations and
+/// culprits — the same property (b′) enforces along conformance sequences, here
+/// pinned directly at the dispatch edge.
+#[test]
+fn costas_advertises_its_kernel_exactly_within_the_mask_boundary() {
+    let info = adaptive_search::problems::find("costas").expect("registered");
+    for (size, expect_kernel) in [(18usize, true), (31, true), (32, true), (40, false)] {
+        let mut problem = (info.build)(size);
+        assert_eq!(
+            problem.has_accelerated_probe(),
+            expect_kernel,
+            "costas n={size}"
+        );
+        let mut probe = Vec::new();
+        let mut reference = Vec::new();
+        for seed in 0..4u64 {
+            problem.set_configuration(&random_configuration(size, 0xB0DA * (seed + 1)));
+            for culprit in [0, size / 2, size - 1] {
+                problem.probe_partners(culprit, &mut probe);
+                problem.probe_partners_reference(culprit, &mut reference);
+                assert_eq!(probe, reference, "costas n={size}, culprit {culprit}");
+            }
+        }
+    }
 }
 
 /// Deterministic spot-check used as a fast smoke (independent of PROPTEST_CASES):

@@ -48,6 +48,36 @@ fn bench_conflict_table(c: &mut Criterion) {
             });
         });
 
+        // The flat-histogram reference path both mask-based kernels are pinned
+        // against; the gap between this row and `probe_partners` is the
+        // dispatched kernel's contribution.
+        group.bench_with_input(
+            BenchmarkId::new("probe_partners_reference", n),
+            &n,
+            |b, _| {
+                let table = ConflictTable::new(&perm, model);
+                let mut rng = default_rng(11);
+                let mut out = Vec::with_capacity(n);
+                b.iter(|| {
+                    table.probe_partners_reference(rng.index(n), &mut out);
+                    black_box(out[0])
+                });
+            },
+        );
+
+        // The batched SWAR experiment (see `costas::kernel`): kept measured so
+        // the "the scalar bitmask kernel wins at these orders" conclusion stays
+        // a number, not folklore.
+        group.bench_with_input(BenchmarkId::new("probe_partners_swar", n), &n, |b, _| {
+            let table = ConflictTable::new(&perm, model);
+            let mut rng = default_rng(11);
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                table.probe_partners_swar(rng.index(n), &mut out);
+                black_box(out[0])
+            });
+        });
+
         // What the batched probe replaced: n−1 apply+un-apply evaluations.
         group.bench_with_input(
             BenchmarkId::new("probe_via_apply_unapply", n),

@@ -29,9 +29,15 @@
 //! throughput section is now driven by the problem registry
 //! ([`adaptive_search::problems`]), so it covers all six registered workloads —
 //! the four seed models plus `langford` and `number-partitioning` — and grows
-//! automatically with future registrations.
+//! automatically with future registrations.  Still within v4 (additive, no field
+//! changed), the document now also carries a `scaling_curve` rider: the
+//! real-hardware strong-scaling section (`scaling_curve/v1`, see
+//! `bench::scaling` and the `scaling_curve` harness) measured on actual OS
+//! threads, so the one committed artefact tracks simulated-core scaling shape,
+//! probe-path speed *and* real-thread speedup together.
 
 use bench::protocol::{cooperative_cell, parallel_cell, CellMode, CellSummary, CoopCellSummary};
+use bench::scaling::{measure_model, scaling_section, ScalingOptions};
 use bench::throughput::standard_models;
 use bench::{banner, write_bench_json, write_csv, HarnessOptions};
 use multiwalk::{CoopConfig, PlatformProfile, VirtualCluster, WalkSpec};
@@ -147,8 +153,43 @@ fn main() {
     println!("Probe throughput ({throughput_steps} engine steps per model):");
     println!("\n{}", throughput_table.render());
 
+    // scaling_curve/v1 rider: the real-hardware strong-scaling section (OS
+    // threads; Costas + N-Queens in quick mode, the whole registry in full).
+    let scaling_opts = ScalingOptions::from_env(&options);
+    let scaling_models: Vec<&str> = if options.full {
+        adaptive_search::problems::keys().collect()
+    } else {
+        vec!["costas", "n-queens"]
+    };
+    println!(
+        "Strong scaling on {} hardware thread(s), measured counts {:?}:",
+        bench::scaling::hardware_threads(),
+        scaling_opts.thread_counts
+    );
+    let curves: Vec<_> = scaling_models
+        .iter()
+        .map(|key| measure_model(key, &scaling_opts, options.master_seed))
+        .collect();
+    for curve in &curves {
+        let baseline = curve.cells.first().map_or(0.0, |c| c.steps_per_sec);
+        for cell in &curve.cells {
+            println!(
+                "  {:>20} n={:<3} threads={:<2} {:>10.0} steps/s ({:.2}x)",
+                curve.model,
+                curve.bench_size,
+                cell.threads,
+                cell.steps_per_sec,
+                cell.steps_per_sec / baseline.max(f64::MIN_POSITIVE),
+            );
+        }
+    }
+
     let doc = Json::object(vec![
         ("schema", Json::from("coop_vs_independent/v4")),
+        (
+            "scaling_curve",
+            scaling_section(&curves, &scaling_opts, options.master_seed),
+        ),
         ("n", Json::from(n)),
         ("runs", Json::from(runs)),
         ("master_seed", Json::from(options.master_seed)),

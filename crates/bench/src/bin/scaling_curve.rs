@@ -1,0 +1,97 @@
+//! **Strong scaling on real hardware** — registry workloads on 1/2/4/… OS
+//! threads (`multiwalk::ThreadRunner`), the laptop-scale counterpart of the
+//! paper's Tables III–V / Figures 2–4 cluster runs.
+//!
+//! For each model and thread count the harness measures two legs (see
+//! [`bench::scaling`]): aggregate steps/sec over a fixed per-walk budget with no
+//! cross-walk stop flag (no walk is cut short by a sibling's success — the
+//! strong-scaling number; a walk that solves its own instance still stops, which
+//! the recorded `total_steps` makes visible) and wall-clock
+//! time-to-target percentiles of racing first-solution-wins jobs at the model's
+//! largest solvable size (the paper's speedup quantity).  Seeds are pinned per
+//! cell, so the sweep replays the identical walks on every host.
+//!
+//! Output: the curve table on stdout, a CSV under `target/experiments/`, and a
+//! `scaling_curve/v1` JSON artefact (destination overridable with
+//! `COSTAS_BENCH_JSON`).  Knobs: `COSTAS_THREADS` (default `1,2,4`),
+//! `COSTAS_SCALING_STEPS` (per-walk budget), `COSTAS_RUNS` / `COSTAS_FULL` as
+//! everywhere else.  Quick mode covers Costas (n = 18) and N-Queens; full mode
+//! sweeps every registered workload.
+//!
+//! Reading the curve: with perfect strong scaling steps/sec doubles with the
+//! thread count until `hardware_threads` is exhausted; compare the `speedup`
+//! column against the ideal line the way Figure 2 plots MPI ranks.  On a
+//! single-core host every multi-thread cell measures scheduling overhead, not
+//! speedup — `hardware_threads` is recorded in the artefact precisely so that
+//! reading is unambiguous.
+
+use adaptive_search::problems;
+use bench::scaling::{hardware_threads, measure_model, scaling_section, ScalingOptions};
+use bench::{banner, write_bench_json, write_csv, HarnessOptions};
+use runtime_stats::table::fmt_seconds;
+use runtime_stats::TextTable;
+
+fn main() {
+    let options = HarnessOptions::from_env();
+    let scaling = ScalingOptions::from_env(&options);
+    banner(
+        "Strong scaling on real hardware (OS threads)",
+        "aggregate steps/sec + time-to-target percentiles per thread count",
+        &options,
+    );
+    println!(
+        "hardware threads: {}   measured counts: {:?}   per-walk budget: {} steps\n",
+        hardware_threads(),
+        scaling.thread_counts,
+        scaling.steps_per_walk,
+    );
+
+    let quick_models = ["costas", "n-queens"];
+    let model_keys: Vec<&str> = if options.full {
+        problems::keys().collect()
+    } else {
+        quick_models.to_vec()
+    };
+
+    let mut table = TextTable::new(vec![
+        "model",
+        "n",
+        "threads",
+        "steps/sec",
+        "speedup",
+        "ttt n",
+        "ttt solved",
+        "ttt p50",
+        "ttt p90",
+    ]);
+    let mut curves = Vec::with_capacity(model_keys.len());
+    for key in &model_keys {
+        let curve = measure_model(key, &scaling, options.master_seed);
+        let baseline = curve.cells.first().map_or(0.0, |c| c.steps_per_sec);
+        for cell in &curve.cells {
+            table.add_row(vec![
+                curve.model.to_string(),
+                curve.bench_size.to_string(),
+                cell.threads.to_string(),
+                format!("{:.0}", cell.steps_per_sec),
+                format!(
+                    "{:.2}x",
+                    cell.steps_per_sec / baseline.max(f64::MIN_POSITIVE)
+                ),
+                curve.target_size.to_string(),
+                format!("{}/{}", cell.ttt_solved, cell.ttt_runs),
+                fmt_seconds(cell.ttt_p50_s),
+                fmt_seconds(cell.ttt_p90_s),
+            ]);
+        }
+        curves.push(curve);
+    }
+
+    println!("{}", table.render());
+    let csv_path = write_csv("scaling_curve.csv", &table.to_csv());
+    println!("CSV written to {}", csv_path.display());
+
+    let doc = scaling_section(&curves, &scaling, options.master_seed);
+    let json_path = write_bench_json("BENCH_scaling_curve.json", &doc);
+    println!("JSON written to {}", json_path.display());
+}

@@ -17,6 +17,8 @@
 use std::path::{Path, PathBuf};
 
 pub mod protocol;
+pub mod scaling;
+pub mod schema;
 pub mod tables;
 pub mod throughput;
 

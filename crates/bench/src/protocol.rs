@@ -215,6 +215,40 @@ mod tests {
         assert!(a.seconds.mean > 0.0);
     }
 
+    /// Regression for the `coordinated_restarts: 0` blind spot: with the default
+    /// `CoopConfig` the restart trigger needs `stagnation_limit` (64) consecutive
+    /// non-improving exchange rounds — `64 × exchange_interval` stagnant
+    /// iterations — which benchmark-sized budgets never reach, so every
+    /// committed artefact showed zero and the restart path went unmeasured.
+    /// Forcing stagnation (a hard instance on a tiny budget, exchanges every 64
+    /// iterations, restart after a single stagnant round) proves the trigger
+    /// actually fires and is counted through the whole protocol stack.
+    #[test]
+    fn forced_stagnation_fires_the_coordinated_restart_trigger() {
+        let cluster = VirtualCluster::new(PlatformProfile::local());
+        // Order 18 essentially never solves in 2 000 iterations, so the global
+        // best stops improving almost immediately.
+        let spec = WalkSpec::costas(18).with_config(
+            adaptive_search::AsConfig::builder()
+                .max_iterations(2_000)
+                .build(),
+        );
+        let coop = CoopConfig::every(64).with_stagnation_limit(Some(1));
+        let cell = cooperative_cell(&cluster, &spec, coop, 4, 2, 11);
+        assert_eq!(cell.solved, 0, "the budget is chosen to be unsolvable");
+        assert!(
+            cell.coordinated_restarts >= 1,
+            "stagnation must fire the coordinated-restart trigger at least once, \
+             got {}",
+            cell.coordinated_restarts
+        );
+        // The same job with restarts disabled counts none: the counter measures
+        // the trigger, not some unrelated event.
+        let disabled = CoopConfig::every(64).with_stagnation_limit(None);
+        let cell = cooperative_cell(&cluster, &spec, disabled, 4, 2, 11);
+        assert_eq!(cell.coordinated_restarts, 0);
+    }
+
     #[test]
     fn mode_switches_at_the_limit() {
         assert_eq!(mode_for_cores(256, 256), CellMode::Exact);

@@ -1,0 +1,413 @@
+//! Schema validation for the `BENCH_*.json` artefacts.
+//!
+//! The perf trajectory of this repository lives in machine-readable benchmark
+//! artefacts (the committed `BENCH_dev.json`, the CI-uploaded `BENCH_ci.json`).
+//! Their consumers — trend scripts, the CI smoke check, future sessions reading
+//! the committed numbers — need the *section schemas* to stay what they claim:
+//! a file announcing `coop_vs_independent/v4` must actually have the v4 shape,
+//! and a stale artefact written by an older harness must be rejected loudly,
+//! not mis-read.
+//!
+//! This module is that contract, in code: one validator per current section
+//! schema ([`validate_coop_vs_independent`], [`validate_probe_throughput`],
+//! [`validate_scaling_curve`]) plus a dispatching [`validate_bench_doc`] that
+//! recognises a document by its `schema` field and rejects superseded versions
+//! (`coop_vs_independent/v2`/`v3`, `probe_throughput/v1`/`v2`, …) with an error
+//! naming the expected one.  Validators are pure functions over parsed
+//! [`Json`]; the round-trip (`render` → [`Json::parse`] → validate) is what the
+//! tests and the CI smoke job exercise.
+
+use runtime_stats::Json;
+
+/// Current schema tag of the cooperative-vs-independent document.
+pub const COOP_VS_INDEPENDENT_SCHEMA: &str = "coop_vs_independent/v4";
+/// Current schema tag of the probe-throughput document.
+pub const PROBE_THROUGHPUT_SCHEMA: &str = "probe_throughput/v3";
+/// Current schema tag of the strong-scaling section.
+pub const SCALING_CURVE_SCHEMA: &str = "scaling_curve/v1";
+
+fn schema_of(doc: &Json) -> Result<&str, String> {
+    doc.get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"schema\" field".to_string())
+}
+
+/// Check the document's `schema` tag against the current one for its family,
+/// rejecting stale versions with an error that names the expected tag.
+fn require_schema(doc: &Json, current: &str) -> Result<(), String> {
+    let found = schema_of(doc)?;
+    if found == current {
+        return Ok(());
+    }
+    let family = current.split('/').next().unwrap_or(current);
+    if found.split('/').next() == Some(family) {
+        Err(format!(
+            "stale schema {found:?}: this validator requires {current:?}"
+        ))
+    } else {
+        Err(format!("schema {found:?} is not {current:?}"))
+    }
+}
+
+fn require_u64(obj: &Json, key: &str, context: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{context}: missing unsigned integer {key:?}"))
+}
+
+fn require_number(obj: &Json, key: &str, context: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{context}: missing number {key:?}"))
+}
+
+/// A number that may legitimately be `null` (NaN percentiles render as `null`).
+fn require_nullable_number(obj: &Json, key: &str, context: &str) -> Result<(), String> {
+    match obj.get(key) {
+        Some(Json::Null) => Ok(()),
+        Some(v) if v.as_f64().is_some() => Ok(()),
+        Some(_) => Err(format!("{context}: {key:?} must be a number or null")),
+        None => Err(format!("{context}: missing field {key:?}")),
+    }
+}
+
+fn require_array<'a>(obj: &'a Json, key: &str, context: &str) -> Result<&'a [Json], String> {
+    obj.get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{context}: missing array {key:?}"))
+}
+
+fn require_object(value: &Json, context: &str) -> Result<(), String> {
+    match value {
+        Json::Object(_) => Ok(()),
+        _ => Err(format!("{context}: expected an object")),
+    }
+}
+
+/// Validate a `coop_vs_independent/v4` document (the shape `BENCH_dev.json`
+/// commits), including its `probe_throughput` rider and — when present — the
+/// `scaling_curve` rider section.
+pub fn validate_coop_vs_independent(doc: &Json) -> Result<(), String> {
+    require_schema(doc, COOP_VS_INDEPENDENT_SCHEMA)?;
+    require_u64(doc, "n", "coop_vs_independent")?;
+    require_u64(doc, "runs", "coop_vs_independent")?;
+    require_u64(doc, "master_seed", "coop_vs_independent")?;
+    let cells = require_array(doc, "cells", "coop_vs_independent")?;
+    if cells.is_empty() {
+        return Err("coop_vs_independent: empty \"cells\"".into());
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let context = format!("coop_vs_independent cell {i}");
+        require_u64(cell, "cores", &context)?;
+        require_number(cell, "speedup_iterations", &context)?;
+        for side in ["independent", "cooperative"] {
+            let inner = cell
+                .get(side)
+                .ok_or_else(|| format!("{context}: missing {side:?}"))?;
+            require_object(inner, &context)?;
+            require_number(inner, "mean_iterations", &context)?;
+            require_number(inner, "mean_seconds", &context)?;
+        }
+        require_u64(
+            cell.get("cooperative").expect("checked above"),
+            "coordinated_restarts",
+            &context,
+        )?;
+    }
+    let throughput = require_array(doc, "probe_throughput", "coop_vs_independent")?;
+    validate_throughput_entries(throughput)?;
+    if let Some(scaling) = doc.get("scaling_curve") {
+        validate_scaling_curve(scaling)?;
+    }
+    Ok(())
+}
+
+/// Validate a standalone `probe_throughput/v3` document.
+pub fn validate_probe_throughput(doc: &Json) -> Result<(), String> {
+    require_schema(doc, PROBE_THROUGHPUT_SCHEMA)?;
+    require_u64(doc, "steps", "probe_throughput")?;
+    require_u64(doc, "master_seed", "probe_throughput")?;
+    validate_throughput_entries(require_array(doc, "models", "probe_throughput")?)
+}
+
+/// The per-model entry shape shared by `probe_throughput/v3` and the
+/// `coop_vs_independent/v4` rider.
+fn validate_throughput_entries(entries: &[Json]) -> Result<(), String> {
+    if entries.is_empty() {
+        return Err("probe_throughput: empty model list".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let context = format!("probe_throughput entry {i}");
+        entry
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{context}: missing string \"model\""))?;
+        require_u64(entry, "size", &context)?;
+        require_u64(entry, "steps", &context)?;
+        require_number(entry, "steps_per_sec", &context)?;
+        require_u64(entry, "culprit_scans", &context)?;
+        require_u64(entry, "culprit_fast_selects", &context)?;
+    }
+    Ok(())
+}
+
+/// Validate a `scaling_curve/v1` section (standalone document or rider).
+pub fn validate_scaling_curve(section: &Json) -> Result<(), String> {
+    require_schema(section, SCALING_CURVE_SCHEMA)?;
+    let hardware = require_u64(section, "hardware_threads", "scaling_curve")?;
+    if hardware == 0 {
+        return Err("scaling_curve: hardware_threads must be >= 1".into());
+    }
+    require_u64(section, "master_seed", "scaling_curve")?;
+    require_u64(section, "steps_per_walk", "scaling_curve")?;
+    require_u64(section, "ttt_runs", "scaling_curve")?;
+    let thread_counts = require_array(section, "thread_counts", "scaling_curve")?;
+    if thread_counts.is_empty() {
+        return Err("scaling_curve: empty \"thread_counts\"".into());
+    }
+    let models = require_array(section, "models", "scaling_curve")?;
+    if models.is_empty() {
+        return Err("scaling_curve: empty \"models\"".into());
+    }
+    for model in models {
+        let name = model
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "scaling_curve model: missing string \"model\"".to_string())?;
+        let context = format!("scaling_curve model {name:?}");
+        require_u64(model, "bench_size", &context)?;
+        require_u64(model, "target_size", &context)?;
+        let cells = require_array(model, "cells", &context)?;
+        if cells.len() != thread_counts.len() {
+            return Err(format!(
+                "{context}: {} cells for {} thread counts",
+                cells.len(),
+                thread_counts.len()
+            ));
+        }
+        for cell in cells {
+            let threads = require_u64(cell, "threads", &context)?;
+            let cell_context = format!("{context}, {threads} threads");
+            require_u64(cell, "total_steps", &cell_context)?;
+            require_number(cell, "seconds", &cell_context)?;
+            require_number(cell, "steps_per_sec", &cell_context)?;
+            require_number(cell, "speedup", &cell_context)?;
+            let runs = require_u64(cell, "ttt_runs", &cell_context)?;
+            let solved = require_u64(cell, "ttt_solved", &cell_context)?;
+            if solved > runs {
+                return Err(format!(
+                    "{cell_context}: ttt_solved {solved} > ttt_runs {runs}"
+                ));
+            }
+            require_nullable_number(cell, "ttt_p50_s", &cell_context)?;
+            require_nullable_number(cell, "ttt_p90_s", &cell_context)?;
+        }
+    }
+    Ok(())
+}
+
+/// Dispatch on the document's `schema` field: current versions validate, stale
+/// or unknown ones are rejected with an explanatory error.
+pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
+    let schema = schema_of(doc)?.to_string();
+    match schema.split('/').next() {
+        Some("coop_vs_independent") => validate_coop_vs_independent(doc),
+        Some("probe_throughput") => validate_probe_throughput(doc),
+        Some("scaling_curve") => validate_scaling_curve(doc),
+        _ => Err(format!("unknown benchmark schema {schema:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaling::{ModelCurve, ScalingCell, ScalingOptions};
+    use crate::throughput::ThroughputSample;
+
+    fn sample_throughput_entry() -> Json {
+        ThroughputSample {
+            model: "costas",
+            size: 18,
+            steps: 1000,
+            seconds: 0.005,
+            steps_per_sec: 200_000.0,
+            solves: 0,
+            culprit_scans: 900,
+            culprit_fast_selects: 100,
+        }
+        .to_json()
+    }
+
+    fn sample_scaling_section() -> Json {
+        let cell = |threads: usize| ScalingCell {
+            threads,
+            total_steps: 20_000 * threads as u64,
+            seconds: 0.1,
+            steps_per_sec: 200_000.0 * threads as f64,
+            ttt_runs: 5,
+            ttt_solved: if threads == 4 { 0 } else { 5 },
+            ttt_p50_s: if threads == 4 { f64::NAN } else { 0.02 },
+            ttt_p90_s: if threads == 4 { f64::NAN } else { 0.05 },
+        };
+        let curve = ModelCurve {
+            model: "costas",
+            bench_size: 18,
+            target_size: 12,
+            cells: vec![cell(1), cell(2), cell(4)],
+        };
+        let opts = ScalingOptions {
+            thread_counts: vec![1, 2, 4],
+            steps_per_walk: 20_000,
+            ttt_runs: 5,
+        };
+        crate::scaling::scaling_section(&[curve], &opts, 7)
+    }
+
+    fn sample_coop_doc() -> Json {
+        let side = Json::object(vec![
+            ("mean_iterations", Json::from(1000.0)),
+            ("median_iterations", Json::from(900.0)),
+            ("mean_seconds", Json::from(0.01)),
+        ]);
+        let coop_side = match side.clone() {
+            Json::Object(mut map) => {
+                map.insert("solved".into(), Json::from(6u64));
+                map.insert("adoptions".into(), Json::from(3u64));
+                map.insert("coordinated_restarts".into(), Json::from(1u64));
+                Json::Object(map)
+            }
+            _ => unreachable!(),
+        };
+        Json::object(vec![
+            ("schema", Json::from(COOP_VS_INDEPENDENT_SCHEMA)),
+            ("n", Json::from(14usize)),
+            ("runs", Json::from(6usize)),
+            ("master_seed", Json::from(7u64)),
+            ("exchange_interval", Json::from(64u64)),
+            ("core_counts", Json::from(vec![4u64, 16, 64])),
+            (
+                "cells",
+                Json::Array(vec![Json::object(vec![
+                    ("cores", Json::from(4usize)),
+                    ("independent", side),
+                    ("cooperative", coop_side),
+                    ("speedup_iterations", Json::from(0.98)),
+                ])]),
+            ),
+            ("probe_throughput_steps", Json::from(20_000u64)),
+            (
+                "probe_throughput",
+                Json::Array(vec![sample_throughput_entry()]),
+            ),
+            ("scaling_curve", sample_scaling_section()),
+        ])
+    }
+
+    /// Round-trip property for all three current schemas: what the emitters
+    /// render parses back and validates.
+    #[test]
+    fn current_schemas_round_trip_through_parse_and_validate() {
+        let coop = sample_coop_doc();
+        let parsed = Json::parse(&coop.render()).expect("coop doc parses");
+        validate_bench_doc(&parsed).expect("coop_vs_independent/v4 validates");
+
+        let probe = Json::object(vec![
+            ("schema", Json::from(PROBE_THROUGHPUT_SCHEMA)),
+            ("steps", Json::from(50_000u64)),
+            ("master_seed", Json::from(7u64)),
+            ("models", Json::Array(vec![sample_throughput_entry()])),
+        ]);
+        let parsed = Json::parse(&probe.render()).expect("probe doc parses");
+        validate_bench_doc(&parsed).expect("probe_throughput/v3 validates");
+
+        let scaling = sample_scaling_section();
+        let parsed = Json::parse(&scaling.render()).expect("scaling section parses");
+        validate_bench_doc(&parsed).expect("scaling_curve/v1 validates");
+    }
+
+    /// Stale versions of a known family are rejected with an error naming the
+    /// current schema — the "reject stale schemas" half of the contract.
+    #[test]
+    fn stale_schemas_are_rejected_by_name() {
+        for (stale, current) in [
+            ("coop_vs_independent/v2", COOP_VS_INDEPENDENT_SCHEMA),
+            ("coop_vs_independent/v3", COOP_VS_INDEPENDENT_SCHEMA),
+            ("probe_throughput/v2", PROBE_THROUGHPUT_SCHEMA),
+            ("scaling_curve/v0", SCALING_CURVE_SCHEMA),
+        ] {
+            let doc = Json::object(vec![("schema", Json::from(stale))]);
+            let err = validate_bench_doc(&doc).expect_err(stale);
+            assert!(err.contains("stale"), "{stale}: {err}");
+            assert!(err.contains(current), "{stale}: {err}");
+        }
+        let unknown = Json::object(vec![("schema", Json::from("mystery/v1"))]);
+        assert!(validate_bench_doc(&unknown)
+            .expect_err("unknown family")
+            .contains("unknown benchmark schema"));
+        let missing = Json::object(vec![("n", Json::from(1u64))]);
+        assert!(validate_bench_doc(&missing).is_err());
+    }
+
+    #[test]
+    fn structural_violations_are_caught() {
+        // a cell count that disagrees with the thread-count list
+        let mut section = sample_scaling_section();
+        if let Json::Object(map) = &mut section {
+            map.insert("thread_counts".into(), Json::from(vec![1u64, 2]));
+        }
+        assert!(validate_scaling_curve(&section)
+            .expect_err("mismatched cells")
+            .contains("cells"));
+
+        // ttt_solved exceeding ttt_runs
+        let mut doc = sample_scaling_section();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(models)) = map.get_mut("models") {
+                if let Some(Json::Object(model)) = models.get_mut(0) {
+                    if let Some(Json::Array(cells)) = model.get_mut("cells") {
+                        if let Some(Json::Object(cell)) = cells.get_mut(0) {
+                            cell.insert("ttt_solved".into(), Json::from(99u64));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(validate_scaling_curve(&doc)
+            .expect_err("solved > runs")
+            .contains("ttt_solved"));
+
+        // a coop doc with its throughput rider dropped
+        let mut coop = sample_coop_doc();
+        if let Json::Object(map) = &mut coop {
+            map.remove("probe_throughput");
+        }
+        assert!(validate_coop_vs_independent(&coop).is_err());
+    }
+
+    /// The committed artefact keeps its promises: `BENCH_dev.json` parses,
+    /// validates against the current schemas, and carries a real-hardware
+    /// scaling section with at least three thread counts.
+    #[test]
+    fn committed_bench_dev_artifact_validates() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dev.json");
+        let raw = std::fs::read_to_string(path).expect("BENCH_dev.json is committed");
+        let doc = Json::parse(&raw).expect("BENCH_dev.json parses");
+        validate_bench_doc(&doc).expect("BENCH_dev.json validates");
+        let scaling = doc
+            .get("scaling_curve")
+            .expect("BENCH_dev.json carries a scaling_curve section");
+        assert_eq!(
+            scaling.get("schema").and_then(Json::as_str),
+            Some(SCALING_CURVE_SCHEMA)
+        );
+        let counts = scaling
+            .get("thread_counts")
+            .and_then(Json::as_array)
+            .expect("thread_counts");
+        assert!(
+            counts.len() >= 3,
+            "scaling curve must cover at least three thread counts, got {}",
+            counts.len()
+        );
+    }
+}

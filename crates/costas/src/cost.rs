@@ -272,11 +272,11 @@ impl CostModel {
 #[derive(Debug, Clone)]
 pub struct ConflictTable {
     model: CostModel,
-    n: usize,
-    width: usize,
-    dmax: usize,
-    values: Vec<usize>,
-    counts: Vec<u32>,
+    pub(crate) n: usize,
+    pub(crate) width: usize,
+    pub(crate) dmax: usize,
+    pub(crate) values: Vec<usize>,
+    pub(crate) counts: Vec<u32>,
     cost: u64,
     /// Maintained per-position errors (paper attribution rule).
     errors: Vec<u64>,
@@ -295,8 +295,8 @@ pub struct ConflictTable {
     /// set iff the row's bucket `b` holds ≥ 1 pair, `multi_mask[d − 1]` iff it
     /// holds ≥ 2.  The batched probe reads each candidate's cost delta out of
     /// these two registers instead of six histogram loads; empty when disabled.
-    occ_mask: Vec<u64>,
-    multi_mask: Vec<u64>,
+    pub(crate) occ_mask: Vec<u64>,
+    pub(crate) multi_mask: Vec<u64>,
     /// `weights[d]` = `ERR(d)`, precomputed so the apply/probe paths do not
     /// re-evaluate `n² − d²` per touched pair (`weights[0]` unused).
     weights: Vec<u64>,
@@ -356,7 +356,7 @@ impl ConflictTable {
 
     /// Precomputed `ERR(d)`.
     #[inline]
-    fn weight(&self, d: usize) -> u64 {
+    pub(crate) fn weight(&self, d: usize) -> u64 {
         self.weights[d]
     }
 
@@ -685,6 +685,12 @@ impl ConflictTable {
     /// is hoisted out of the per-candidate loop: it is evaluated once per distance,
     /// and the per-candidate pass only scores the re-added culprit differences plus
     /// the candidate's own pairs against that precomputed baseline.
+    ///
+    /// When the per-row occupancy bitmasks are maintained (`n ≤ 32`), candidates
+    /// are scored by the bitmask probe kernel ([`crate::kernel`]); the plain
+    /// histogram path is retained as the reference implementation behind
+    /// [`ConflictTable::probe_partners_reference`], and `debug_assert!` pins the
+    /// kernel to it on every call.
     pub fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
         self.probe_partners_range(culprit, 0, out);
     }
@@ -699,14 +705,74 @@ impl ConflictTable {
         self.probe_partners_range(culprit, culprit + 1, out);
     }
 
-    /// Shared implementation: fill `out[j]` for `j in lo..n`, `j != m`.
+    /// Does [`ConflictTable::probe_partners`] dispatch to the bitmask probe
+    /// kernel ([`crate::kernel`])?
     ///
-    /// Structured distance-major so the hoisted culprit-removal state per distance
-    /// is a handful of scalars instead of a heap buffer: `out[j]` accumulates the
-    /// per-distance deltas, and every partial sum stays a valid `u64` because the
-    /// rows of the difference triangle contribute to the cost independently (a
-    /// partial sum is the cost of a configuration whose first rows are post-swap
-    /// and whose remaining rows are pre-swap, each row cost being ≥ 0).
+    /// True exactly when the per-row occupancy bitmasks are maintained (row width
+    /// `2n − 1 ≤ 63`, i.e. `n ≤ 32` — every Costas instance in practice).  When
+    /// false the probe takes the plain histogram path and *is* the reference
+    /// implementation.
+    #[inline]
+    pub fn has_probe_kernel(&self) -> bool {
+        self.masks_enabled()
+    }
+
+    /// Scalar **reference implementation** of [`ConflictTable::probe_partners`]:
+    /// same contract, bit-for-bit the same results, but always scoring candidates
+    /// one at a time against the flat difference histogram — never a mask-based
+    /// kernel.  The kernel-equivalence conformance properties and the hot-path
+    /// `debug_assert!`s pin the accelerated probes to this path.
+    pub fn probe_partners_reference(&self, culprit: usize, out: &mut Vec<u64>) {
+        self.probe_reference_range(culprit, 0, out);
+    }
+
+    /// Scalar reference for [`ConflictTable::probe_partners_above`].
+    pub fn probe_partners_above_reference(&self, culprit: usize, out: &mut Vec<u64>) {
+        self.probe_reference_range(culprit, culprit + 1, out);
+    }
+
+    /// The batched SWAR probe **experiment**: same contract and bit-for-bit the
+    /// same results as [`ConflictTable::probe_partners`], scoring
+    /// [`crate::kernel::LANES`] candidates per pass.  Measured *slower* than
+    /// the dispatched bitmask kernel on commodity x86-64 (the per-candidate
+    /// event gather is data-dependent, so the lanes share only the final
+    /// accumulation — see the [`crate::kernel`] module docs for the write-up),
+    /// which is why it does not drive the dispatch.  Kept public so the
+    /// `conflict_table` micro-benchmark tracks the comparison.
+    ///
+    /// Panics when the occupancy bitmasks are not maintained (order > 32).
+    pub fn probe_partners_swar(&self, culprit: usize, out: &mut Vec<u64>) {
+        let n = self.n;
+        assert!(culprit < n, "culprit {culprit} out of range for order {n}");
+        assert!(
+            self.masks_enabled(),
+            "the SWAR probe needs the occupancy bitmasks (order ≤ 32)"
+        );
+        out.clear();
+        out.resize(n, self.cost);
+        if n < 2 {
+            return;
+        }
+        self.probe_range_swar(culprit, 0, out);
+    }
+
+    /// Reference-path prologue shared by the `_reference` probes.
+    fn probe_reference_range(&self, m: usize, lo_bound: usize, out: &mut Vec<u64>) {
+        let n = self.n;
+        assert!(m < n, "culprit {m} out of range for order {n}");
+        out.clear();
+        out.resize(n, self.cost);
+        if n < 2 || lo_bound >= n {
+            return;
+        }
+        self.probe_range_generic(m, lo_bound, out);
+    }
+
+    /// Dispatched implementation: fill `out[j]` for `j in lo..n`, `j != m` —
+    /// the bitmask kernel ([`crate::kernel`]) when the occupancy masks are
+    /// maintained, the generic histogram body otherwise.  Both `debug_assert!`s
+    /// pin the dispatched path to an independent implementation on every call:
+    /// the flat-histogram reference and the per-pair `delta_for_swap` oracle.
     fn probe_partners_range(&self, m: usize, lo_bound: usize, out: &mut Vec<u64>) {
         let n = self.n;
         assert!(m < n, "culprit {m} out of range for order {n}");
@@ -721,6 +787,14 @@ impl ConflictTable {
             self.probe_range_generic(m, lo_bound, out);
         }
         debug_assert!(
+            {
+                let mut reference = Vec::new();
+                self.probe_reference_range(m, lo_bound, &mut reference);
+                reference == *out
+            },
+            "batched probe diverged from probe_partners_reference (culprit {m})"
+        );
+        debug_assert!(
             out.iter().enumerate().all(|(j, &c)| {
                 let expected = if j >= lo_bound && j != m {
                     (self.cost as i64 + self.delta_for_swap(m, j)) as u64
@@ -731,125 +805,6 @@ impl ConflictTable {
             }),
             "batched probe diverged from the per-pair delta path (culprit {m})"
         );
-    }
-
-    /// Mask-accelerated probe body (row width ≤ 63): in the collision-free common
-    /// case a candidate's per-row delta is read out of the two occupancy bitmasks
-    /// — `+1` on a bucket adds `w` iff its `occ` bit is set, `−1` subtracts `w`
-    /// iff its `multi` bit is set — with the ≤ 2 culprit-vacated buckets patched
-    /// into register copies of the masks once per row.
-    fn probe_range_masked(&self, m: usize, lo_bound: usize, out: &mut [u64]) {
-        let n = self.n;
-        let vm = self.values[m] as i64;
-        let values = &self.values[..];
-        let counts = &self.counts[..];
-        let off = n as i64 - 1;
-        let mut touched = BucketMerge::<6>::new();
-        for d in 1..=self.dmax {
-            let w = self.weight(d) as i64;
-            let base = (d - 1) * self.width;
-            let left_other = (m >= d).then(|| values[m - d] as i64);
-            let right_other = (m + d < n).then(|| values[m + d] as i64);
-            // Culprit-vacated buckets as row-local bit positions, merged.
-            let mut removed = BucketMerge::<2>::new();
-            if let Some(lo) = left_other {
-                removed.push((vm - lo + off) as usize, 1);
-            }
-            if let Some(ro) = right_other {
-                removed.push((ro - vm + off) as usize, 1);
-            }
-            let (mut r0, mut a0, mut r1, mut a1) = (usize::MAX, 0i64, usize::MAX, 0i64);
-            let mut removal_delta = 0i64;
-            let mut occ = self.occ_mask[d - 1];
-            let mut multi = self.multi_mask[d - 1];
-            for (slot, (r, a)) in removed
-                .entries_mut()
-                .iter()
-                .zip([(&mut r0, &mut a0), (&mut r1, &mut a1)])
-            {
-                let c = i64::from(counts[base + slot.0]);
-                removal_delta += w * ((c - slot.1 - 1).max(0) - (c - 1).max(0));
-                let b = c - slot.1;
-                let bit = 1u64 << slot.0;
-                occ = (occ & !bit) | (u64::from(b >= 1) << slot.0);
-                multi = (multi & !bit) | (u64::from(b >= 2) << slot.0);
-                *r = slot.0;
-                *a = slot.1;
-            }
-            let m_minus_d = m.wrapping_sub(d);
-            let m_plus_d = m + d;
-            for (j, out_slot) in out.iter_mut().enumerate().skip(lo_bound) {
-                if j == m {
-                    continue;
-                }
-                let vj = values[j] as i64;
-                let mut delta = removal_delta;
-                if j != m_minus_d && j != m_plus_d {
-                    // Fast path — identical event structure to the generic body,
-                    // but every baseline test is a register bit test.
-                    let mut collide = false;
-                    let mut acc = 0i64;
-                    let (mut k1, mut k2) = (usize::MAX, usize::MAX);
-                    if let Some(lo) = left_other {
-                        k1 = (vj - lo + off) as usize;
-                        acc += ((occ >> k1) & 1) as i64;
-                    }
-                    if let Some(ro) = right_other {
-                        k2 = (ro - vj + off) as usize;
-                        acc += ((occ >> k2) & 1) as i64;
-                        collide |= k1 == k2;
-                    }
-                    let (mut o1, mut n1) = (usize::MAX, usize::MAX);
-                    if j >= d {
-                        let vl = values[j - d] as i64;
-                        o1 = (vj - vl + off) as usize;
-                        n1 = (vm - vl + off) as usize;
-                        acc += ((occ >> n1) & 1) as i64 - ((multi >> o1) & 1) as i64;
-                        collide |= (k1 == o1) | (k1 == n1) | (k2 == o1) | (k2 == n1);
-                    }
-                    if j + d < n {
-                        let vr = values[j + d] as i64;
-                        let o2 = (vr - vj + off) as usize;
-                        let n2 = (vr - vm + off) as usize;
-                        acc += ((occ >> n2) & 1) as i64 - ((multi >> o2) & 1) as i64;
-                        collide |= (k1 == o2) | (k1 == n2) | (k2 == o2) | (k2 == n2);
-                        collide |= (o1 == o2) | (o1 == n2) | (n1 == o2) | (n1 == n2);
-                    }
-                    if !collide {
-                        *out_slot = out_slot.wrapping_add_signed(delta + w * acc);
-                        continue;
-                    }
-                    delta = removal_delta;
-                }
-                // Generic path: culprit-neighbour cells and bucket collisions.
-                touched.clear();
-                if let Some(lo) = left_other {
-                    let lo = if m_minus_d == j { vm } else { lo };
-                    touched.push((vj - lo + off) as usize, 1);
-                }
-                if let Some(ro) = right_other {
-                    let ro = if m_plus_d == j { vm } else { ro };
-                    touched.push((ro - vj + off) as usize, 1);
-                }
-                if j >= d && j - d != m {
-                    let vl = values[j - d] as i64;
-                    touched.push((vj - vl + off) as usize, -1);
-                    touched.push((vm - vl + off) as usize, 1);
-                }
-                if j + d < n && j + d != m {
-                    let vr = values[j + d] as i64;
-                    touched.push((vr - vj + off) as usize, -1);
-                    touched.push((vr - vm + off) as usize, 1);
-                }
-                for (pos, net) in touched.nets() {
-                    let b = i64::from(counts[base + pos])
-                        - a0 * i64::from(pos == r0)
-                        - a1 * i64::from(pos == r1);
-                    delta += w * ((b + net - 1).max(0) - (b - 1).max(0));
-                }
-                *out_slot = out_slot.wrapping_add_signed(delta);
-            }
-        }
     }
 
     /// Generic probe body (any order): baseline counts are read from the flat

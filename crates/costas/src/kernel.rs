@@ -1,0 +1,505 @@
+//! Batched probe kernels for the Costas conflict table.
+//!
+//! For every practical Costas order (`n ≤ 32`) a row of the difference-triangle
+//! histogram spans `2n − 1 ≤ 63` buckets, so [`ConflictTable`] maintains two
+//! `u64` bitmasks per row: `occ` (bucket holds ≥ 1 pair) and `multi` (≥ 2).
+//! This module holds the two mask-based probe implementations, both pinned bit
+//! for bit to the plain histogram reference
+//! (`ConflictTable::probe_partners_reference`):
+//!
+//! * [`ConflictTable::probe_range_masked`] — the **production kernel** behind
+//!   the dispatched `probe_partners`.  Candidate-major: per partner, each
+//!   distance row contributes via ≤ 6 single-bit tests on register copies of
+//!   the row masks (a `+1` on a bucket adds `w` iff its `occ` bit is set, a
+//!   `−1` subtracts `w` iff its `multi` bit is set).  The per-row mask patches
+//!   for the culprit-vacated buckets are built once per probe call
+//!   ([`RowCtx`]), and the culprit-removal delta — identical for every
+//!   candidate — is summed across rows once and added once per candidate
+//!   instead of once per (row, candidate).
+//! * [`ConflictTable::probe_partners_swar`] — the **batched SWAR experiment**:
+//!   scores [`LANES`] candidates per pass by packing each lane's ≤ 6
+//!   touched-bucket events as bits of one byte per lane of two `u64` words,
+//!   counting them with one bytewise popcount per word, and accumulating
+//!   `w · (pos − neg)` branch-free.
+//!
+//! **Measured outcome (honest write-up).**  The SWAR variant is *slower* than
+//! the scalar bitmask kernel on commodity x86-64 — 7–34 % across n = 12…24 in
+//! the `conflict_table` micro-benchmark.  The reason is structural: the
+//! per-candidate events are data-dependent gathers (`values[j ± d]` loads and
+//! variable-distance bit tests), so the lanes cannot share the gather — only
+//! the final accumulation — and the packing/bias/popcount overhead exceeds
+//! what the shared accumulation saves once the scalar path has already reduced
+//! every baseline test to a single register bit test.  The experiment is
+//! retained behind [`ConflictTable::probe_partners_swar`], benchmarked next to
+//! the production kernel, and equivalence-pinned so the comparison stays
+//! measured rather than assumed.
+//!
+//! Equivalence with the histogram reference is enforced three ways: the
+//! `debug_assert!` in the probe dispatcher (every call, bit for bit), the unit
+//! suite below (all orders 2–32, both cost models, adversarial permutations,
+//! both kernels), and the cross-crate conformance kit in `adaptive-search`,
+//! which drives random swap/reset/inject sequences against a from-scratch
+//! oracle.
+
+use crate::cost::ConflictTable;
+use crate::merge::BucketMerge;
+
+/// Candidate partners scored per SWAR pass (one byte per lane in a `u64`).
+pub const LANES: usize = 8;
+
+/// Per-byte bias keeping the packed `pos − neg` lane counts non-negative
+/// (`pos ∈ 0..=4`, `neg ∈ 0..=2`, so `pos + 2 − neg ∈ 0..=6`: no borrow or
+/// carry ever crosses a lane boundary).
+const BIAS: u64 = 0x0202_0202_0202_0202;
+
+/// SWAR bytewise popcount: each byte of the result holds the popcount of the
+/// corresponding byte of `x` (the classic parallel bit-count, stopped at the
+/// byte-accumulation step instead of reducing to a single total).
+#[inline]
+pub(crate) fn bytewise_popcount(mut x: u64) -> u64 {
+    x -= (x >> 1) & 0x5555_5555_5555_5555;
+    x = (x & 0x3333_3333_3333_3333) + ((x >> 2) & 0x3333_3333_3333_3333);
+    (x + (x >> 4)) & 0x0f0f_0f0f_0f0f_0f0f
+}
+
+/// Per-row probe context, precomputed once per probe call: the row weight, the
+/// histogram base, the culprit's neighbouring values, and the occupancy masks
+/// with the ≤ 2 culprit-vacated buckets already patched out (`r0`/`a0`,
+/// `r1`/`a1` record the patch so the exact fallback can reproduce it on the
+/// flat counts).
+#[derive(Clone, Copy, Default)]
+struct RowCtx {
+    w: i64,
+    base: usize,
+    occ: u64,
+    multi: u64,
+    left_other: i64,
+    right_other: i64,
+    has_left: bool,
+    has_right: bool,
+    r0: usize,
+    a0: i64,
+    r1: usize,
+    a1: i64,
+}
+
+/// Exact per-bucket merge for one (row, candidate) cell — the culprit-neighbour
+/// cells (`j = m ± d`) and the rare bucket collisions, identical to the
+/// histogram reference's generic body.  Returns the row's delta *excluding*
+/// the hoisted culprit-removal term.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn row_merge(
+    touched: &mut BucketMerge<6>,
+    counts: &[u32],
+    values: &[usize],
+    row: &RowCtx,
+    d: usize,
+    n: usize,
+    m: usize,
+    vm: i64,
+    off: i64,
+    j: usize,
+    vj: i64,
+) -> i64 {
+    let m_minus_d = m.wrapping_sub(d);
+    let m_plus_d = m + d;
+    touched.clear();
+    // Culprit pair (m − d, m): position m now holds v_j; the left neighbour is
+    // v_m instead when the candidate *is* that neighbour.
+    if row.has_left {
+        let lo = if m_minus_d == j { vm } else { row.left_other };
+        touched.push((vj - lo + off) as usize, 1);
+    }
+    // Culprit pair (m, m + d), mirrored.
+    if row.has_right {
+        let ro = if m_plus_d == j { vm } else { row.right_other };
+        touched.push((ro - vj + off) as usize, 1);
+    }
+    // Candidate pair (j − d, j) — unless it touches the culprit, in which case
+    // it is one of the culprit pairs handled above.
+    if j >= d && j - d != m {
+        let vl = values[j - d] as i64;
+        touched.push((vj - vl + off) as usize, -1);
+        touched.push((vm - vl + off) as usize, 1);
+    }
+    // Candidate pair (j, j + d), mirrored.
+    if j + d < n && j + d != m {
+        let vr = values[j + d] as i64;
+        touched.push((vr - vj + off) as usize, -1);
+        touched.push((vr - vm + off) as usize, 1);
+    }
+    let mut delta = 0i64;
+    for (pos, net) in touched.nets() {
+        let b = i64::from(counts[row.base + pos])
+            - row.a0 * i64::from(pos == row.r0)
+            - row.a1 * i64::from(pos == row.r1);
+        delta += row.w * ((b + net - 1).max(0) - (b - 1).max(0));
+    }
+    delta
+}
+
+impl ConflictTable {
+    /// Build the per-row probe contexts and the hoisted culprit-removal total:
+    /// the "remove the culprit's ≤ 2 pairs per distance" half of every
+    /// candidate's delta depends only on the culprit, so it is evaluated once
+    /// per probe call and added once per candidate by both kernels.
+    fn build_rows(&self, m: usize) -> ([RowCtx; 32], i64) {
+        let n = self.n;
+        let vm = self.values[m] as i64;
+        let values = &self.values[..];
+        let counts = &self.counts[..];
+        let off = n as i64 - 1;
+        // dmax ≤ n − 1 ≤ 31 whenever the masks are on.
+        let mut rows = [RowCtx::default(); 32];
+        let mut removal_total = 0i64;
+        for d in 1..=self.dmax {
+            let base = (d - 1) * self.width;
+            let w = self.weight(d) as i64;
+            let has_left = m >= d;
+            let has_right = m + d < n;
+            let left_other = if has_left { values[m - d] as i64 } else { 0 };
+            let right_other = if has_right { values[m + d] as i64 } else { 0 };
+            let mut removed = BucketMerge::<2>::new();
+            if has_left {
+                removed.push((vm - left_other + off) as usize, 1);
+            }
+            if has_right {
+                removed.push((right_other - vm + off) as usize, 1);
+            }
+            let mut ctx = RowCtx {
+                w,
+                base,
+                occ: self.occ_mask[d - 1],
+                multi: self.multi_mask[d - 1],
+                left_other,
+                right_other,
+                has_left,
+                has_right,
+                r0: usize::MAX,
+                a0: 0,
+                r1: usize::MAX,
+                a1: 0,
+            };
+            for (slot, (r, a)) in removed
+                .entries_mut()
+                .iter()
+                .zip([(&mut ctx.r0, &mut ctx.a0), (&mut ctx.r1, &mut ctx.a1)])
+            {
+                let c = i64::from(counts[base + slot.0]);
+                removal_total += w * ((c - slot.1 - 1).max(0) - (c - 1).max(0));
+                let b = c - slot.1;
+                let bit = 1u64 << slot.0;
+                ctx.occ = (ctx.occ & !bit) | (u64::from(b >= 1) << slot.0);
+                ctx.multi = (ctx.multi & !bit) | (u64::from(b >= 2) << slot.0);
+                *r = slot.0;
+                *a = slot.1;
+            }
+            rows[d - 1] = ctx;
+        }
+        (rows, removal_total)
+    }
+
+    /// Production probe kernel (row width ≤ 63): fill `out[j]` for
+    /// `j in lo_bound..n`, `j != m`, candidate-major over the precomputed
+    /// [`RowCtx`] array.  In the collision-free common case every baseline
+    /// test is a single register bit test; culprit-neighbour cells and bucket
+    /// collisions fall back to the exact per-bucket merge.  Bit-for-bit equal
+    /// to the histogram reference (see the module docs for how that is
+    /// pinned).
+    pub(crate) fn probe_range_masked(&self, m: usize, lo_bound: usize, out: &mut [u64]) {
+        let n = self.n;
+        let dmax = self.dmax;
+        let vm = self.values[m] as i64;
+        let values = &self.values[..];
+        let counts = &self.counts[..];
+        let off = n as i64 - 1;
+        let (rows, removal_total) = self.build_rows(m);
+        let mut touched = BucketMerge::<6>::new();
+        for (j, out_slot) in out.iter_mut().enumerate().skip(lo_bound) {
+            if j == m {
+                continue;
+            }
+            let vj = values[j] as i64;
+            // Every partial sum of `acc` over full rows is a valid cost delta
+            // (the rows of the difference triangle contribute independently),
+            // and the final `cost + acc` is the post-swap cost, ≥ 0.
+            let mut acc = removal_total;
+            for (di, row) in rows[..dmax].iter().enumerate() {
+                let d = di + 1;
+                if j == m.wrapping_sub(d) || j == m + d {
+                    acc += row_merge(&mut touched, counts, values, row, d, n, m, vm, off, j, vj);
+                    continue;
+                }
+                // Fast path — identical event structure to the generic body,
+                // but every baseline test is a register bit test.
+                let mut collide = false;
+                let mut hits = 0i64;
+                let (mut k1, mut k2) = (usize::MAX, usize::MAX);
+                if row.has_left {
+                    k1 = (vj - row.left_other + off) as usize;
+                    hits += ((row.occ >> k1) & 1) as i64;
+                }
+                if row.has_right {
+                    k2 = (row.right_other - vj + off) as usize;
+                    hits += ((row.occ >> k2) & 1) as i64;
+                    collide = k1 == k2;
+                }
+                let (mut o1, mut n1) = (usize::MAX, usize::MAX);
+                if j >= d {
+                    let vl = values[j - d] as i64;
+                    o1 = (vj - vl + off) as usize;
+                    n1 = (vm - vl + off) as usize;
+                    hits += ((row.occ >> n1) & 1) as i64 - ((row.multi >> o1) & 1) as i64;
+                    collide |= (k1 == o1) | (k1 == n1) | (k2 == o1) | (k2 == n1);
+                }
+                if j + d < n {
+                    let vr = values[j + d] as i64;
+                    let o2 = (vr - vj + off) as usize;
+                    let n2 = (vr - vm + off) as usize;
+                    hits += ((row.occ >> n2) & 1) as i64 - ((row.multi >> o2) & 1) as i64;
+                    collide |= (k1 == o2) | (k1 == n2) | (k2 == o2) | (k2 == n2);
+                    collide |= (o1 == o2) | (o1 == n2) | (n1 == o2) | (n1 == n2);
+                }
+                if collide {
+                    acc += row_merge(&mut touched, counts, values, row, d, n, m, vm, off, j, vj);
+                } else {
+                    acc += row.w * hits;
+                }
+            }
+            *out_slot = out_slot.wrapping_add_signed(acc);
+        }
+    }
+
+    /// Batched SWAR probe body (row width ≤ 63): fill `out[j]` for
+    /// `j in lo_bound..n`, `j != m`, scoring [`LANES`] candidates per pass.
+    /// Retained as a measured experiment — see the module docs for why it does
+    /// **not** drive the dispatch.  Bit-for-bit equal to the reference paths.
+    pub(crate) fn probe_range_swar(&self, m: usize, lo_bound: usize, out: &mut [u64]) {
+        let n = self.n;
+        let dmax = self.dmax;
+        let vm = self.values[m] as i64;
+        let values = &self.values[..];
+        let counts = &self.counts[..];
+        let off = n as i64 - 1;
+        let (rows, removal_total) = self.build_rows(m);
+
+        let mut touched = BucketMerge::<6>::new();
+        let mut block = lo_bound;
+        while block < n {
+            let lanes = (n - block).min(LANES);
+            let mut vjs = [0i64; LANES];
+            let mut acc = [0i64; LANES];
+            for (l, vj) in vjs.iter_mut().enumerate().take(lanes) {
+                *vj = values[block + l] as i64;
+            }
+            for (di, row) in rows[..dmax].iter().enumerate() {
+                let d = di + 1;
+                let m_minus_d = m.wrapping_sub(d);
+                let m_plus_d = m + d;
+                let mut pos_word = 0u64;
+                let mut neg_word = 0u64;
+                for l in 0..lanes {
+                    let j = block + l;
+                    if j == m {
+                        continue;
+                    }
+                    let vj = vjs[l];
+                    if j != m_minus_d && j != m_plus_d {
+                        // Fast path: gather the lane's ≤ 6 events as bits of
+                        // its byte; `seen` accumulates the touched buckets as
+                        // a bit set, so "no two events share a bucket" is one
+                        // popcount-vs-count comparison.
+                        let mut seen = 0u64;
+                        let mut events = 0u32;
+                        let mut pos = 0u64;
+                        let mut neg = 0u64;
+                        if row.has_left {
+                            let k1 = (vj - row.left_other + off) as usize;
+                            pos |= (row.occ >> k1) & 1;
+                            seen |= 1u64 << k1;
+                            events += 1;
+                        }
+                        if row.has_right {
+                            let k2 = (row.right_other - vj + off) as usize;
+                            pos |= ((row.occ >> k2) & 1) << 1;
+                            seen |= 1u64 << k2;
+                            events += 1;
+                        }
+                        if j >= d {
+                            let vl = values[j - d] as i64;
+                            let o1 = (vj - vl + off) as usize;
+                            let n1 = (vm - vl + off) as usize;
+                            pos |= ((row.occ >> n1) & 1) << 2;
+                            neg |= (row.multi >> o1) & 1;
+                            seen |= (1u64 << o1) | (1u64 << n1);
+                            events += 2;
+                        }
+                        if j + d < n {
+                            let vr = values[j + d] as i64;
+                            let o2 = (vr - vj + off) as usize;
+                            let n2 = (vr - vm + off) as usize;
+                            pos |= ((row.occ >> n2) & 1) << 3;
+                            neg |= ((row.multi >> o2) & 1) << 1;
+                            seen |= (1u64 << o2) | (1u64 << n2);
+                            events += 2;
+                        }
+                        if seen.count_ones() == events {
+                            pos_word |= pos << (8 * l);
+                            neg_word |= neg << (8 * l);
+                            continue;
+                        }
+                    }
+                    // Exact merge for culprit-neighbour cells and collisions;
+                    // the lane's bytes stay zero, contributing 0 through the
+                    // popcount path.
+                    acc[l] += row_merge(&mut touched, counts, values, row, d, n, m, vm, off, j, vj);
+                }
+                // Branch-free popcount accumulation: count every lane's events
+                // at once, bias so `pos − neg` never borrows across lanes.
+                let biased = bytewise_popcount(pos_word) + BIAS - bytewise_popcount(neg_word);
+                for (l, a) in acc.iter_mut().enumerate().take(lanes) {
+                    *a += row.w * ((((biased >> (8 * l)) & 0xff) as i64) - 2);
+                }
+            }
+            for (l, &a) in acc.iter().enumerate().take(lanes) {
+                let j = block + l;
+                if j != m {
+                    out[j] = out[j].wrapping_add_signed(removal_total + a);
+                }
+            }
+            block += lanes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, ErrWeight, RowSpan};
+    use xrand::{default_rng, random_permutation, Rng64};
+
+    fn one_based(mut p: Vec<usize>) -> Vec<usize> {
+        p.iter_mut().for_each(|v| *v += 1);
+        p
+    }
+
+    fn models() -> [CostModel; 4] {
+        [
+            CostModel::optimized(),
+            CostModel::basic(),
+            CostModel {
+                weight: ErrWeight::Quadratic,
+                span: RowSpan::Full,
+            },
+            CostModel {
+                weight: ErrWeight::Unit,
+                span: RowSpan::ChangHalf,
+            },
+        ]
+    }
+
+    /// Pin the dispatched probe, and — when the masks are on — the SWAR
+    /// experiment, to the histogram reference, for every culprit and both
+    /// probe variants.
+    fn assert_probe_matches_reference(table: &ConflictTable, context: &str) {
+        let n = table.order();
+        let (mut fast, mut reference) = (Vec::new(), Vec::new());
+        for m in 0..n {
+            table.probe_partners(m, &mut fast);
+            table.probe_partners_reference(m, &mut reference);
+            assert_eq!(fast, reference, "probe_partners culprit {m} ({context})");
+            if table.has_probe_kernel() {
+                table.probe_partners_swar(m, &mut fast);
+                assert_eq!(
+                    fast, reference,
+                    "probe_partners_swar culprit {m} ({context})"
+                );
+            }
+            table.probe_partners_above(m, &mut fast);
+            table.probe_partners_above_reference(m, &mut reference);
+            assert_eq!(
+                fast, reference,
+                "probe_partners_above culprit {m} ({context})"
+            );
+        }
+    }
+
+    #[test]
+    fn bytewise_popcount_counts_each_byte_independently() {
+        assert_eq!(bytewise_popcount(0), 0);
+        assert_eq!(bytewise_popcount(u64::MAX), 0x0808_0808_0808_0808);
+        // one byte full, neighbours untouched
+        assert_eq!(bytewise_popcount(0xff00), 0x0800);
+        // mixed bytes: 0b1011 (3 bits) in lane 0, 0b1 in lane 7
+        assert_eq!(
+            bytewise_popcount(0x0100_0000_0000_000b),
+            0x0100_0000_0000_0003
+        );
+    }
+
+    /// The tentpole equivalence: for every order the masks support and every
+    /// cost model, both mask-based kernels agree bit for bit with the
+    /// histogram reference on random permutations, for every culprit and both
+    /// probe variants.
+    #[test]
+    fn kernels_match_histogram_reference_on_random_permutations() {
+        for model in models() {
+            for n in 2..=32usize {
+                let mut rng = default_rng(0x005E_EDC0_57A5 ^ n as u64);
+                let p = one_based(random_permutation(n, &mut rng));
+                let table = ConflictTable::new(&p, model);
+                assert!(table.has_probe_kernel(), "masks must be on for n = {n}");
+                assert_probe_matches_reference(&table, &format!("n={n}, {model:?}"));
+            }
+        }
+    }
+
+    /// Adversarial configurations: the identity permutation collapses every
+    /// row into a single bucket (maximal collisions) and the reverse
+    /// permutation mirrors it, so the fallback path is exercised heavily.
+    #[test]
+    fn kernels_match_reference_on_collision_heavy_permutations() {
+        for model in models() {
+            for n in 2..=32usize {
+                let identity: Vec<usize> = (1..=n).collect();
+                let reversed: Vec<usize> = (1..=n).rev().collect();
+                for (name, p) in [("identity", identity), ("reversed", reversed)] {
+                    let table = ConflictTable::new(&p, model);
+                    assert_probe_matches_reference(&table, &format!("{name}, n={n}"));
+                }
+            }
+        }
+    }
+
+    /// The kernels stay correct as the table evolves through swaps (mask
+    /// maintenance and probe must agree at every intermediate state).
+    #[test]
+    fn kernels_match_reference_along_swap_walks() {
+        let mut rng = default_rng(2_027);
+        for n in [13usize, 18, 24, 31, 32] {
+            let p = one_based(random_permutation(n, &mut rng));
+            let mut table = ConflictTable::new(&p, CostModel::optimized());
+            for step in 0..40 {
+                let i = (rng.next_u64() as usize) % n;
+                let j = (rng.next_u64() as usize) % n;
+                table.apply_swap(i, j);
+                assert_probe_matches_reference(&table, &format!("n={n}, step {step}"));
+            }
+        }
+    }
+
+    /// Beyond the mask width the kernels are disabled and the dispatched probe
+    /// *is* the histogram reference path — still equal to the reference by
+    /// construction, pinned here so the dispatch boundary never drifts.
+    #[test]
+    fn kernels_disabled_beyond_mask_width() {
+        for n in [33usize, 40] {
+            let mut rng = default_rng(7 + n as u64);
+            let p = one_based(random_permutation(n, &mut rng));
+            let table = ConflictTable::new(&p, CostModel::optimized());
+            assert!(!table.has_probe_kernel(), "n = {n} exceeds the mask width");
+            assert_probe_matches_reference(&table, &format!("n={n}, generic path"));
+        }
+    }
+}

@@ -31,6 +31,7 @@ pub mod construction;
 pub mod cost;
 pub mod counts;
 pub mod enumerate;
+pub mod kernel;
 pub mod merge;
 pub mod symmetry;
 pub mod triangle;

@@ -134,6 +134,65 @@ impl ThreadRunner {
                 .collect(),
         }
     }
+
+    /// Run the job with **no early-termination flag**: every walk runs to its own
+    /// completion (solution or iteration budget) and the winner is the solved walk
+    /// with the fewest iterations (rank breaks ties).
+    ///
+    /// Unlike [`ThreadRunner::run`], whose winner record depends on which thread
+    /// reaches the mutex first (OS scheduling), everything here except `elapsed`
+    /// is a pure function of `(spec, master_seed, workers)`: the winning rank, the
+    /// winning permutation and every per-walk statistic replay bit-for-bit.  Two
+    /// users:
+    ///
+    /// * the strong-scaling harness (`bench::scaling`), whose throughput leg needs
+    ///   every thread busy for the whole measurement window and whose results must
+    ///   be reproducible across hosts up to wall-clock;
+    /// * determinism regression tests, which pin `run` semantics being racy to
+    ///   this method being the reproducible alternative.
+    ///
+    /// The iteration-count winner criterion is exactly the virtual cluster's
+    /// machine-independent clock, so a deterministic thread job agrees with the
+    /// simulator about *who* wins, while still exercising real OS threads.
+    pub fn run_deterministic(&self, master_seed: u64) -> MultiWalkResult {
+        let start = Instant::now();
+        let mut walk_results: Vec<Option<SolveResult>> = (0..self.workers).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|rank| {
+                    let spec = self.spec.clone();
+                    scope.spawn(move || {
+                        let mut engine = spec.build_engine(master_seed, rank);
+                        (rank, engine.solve())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (rank, result) = handle.join().expect("walk thread panicked");
+                walk_results[rank] = Some(result);
+            }
+        });
+
+        let elapsed = start.elapsed();
+        let walk_results: Vec<SolveResult> = walk_results
+            .into_iter()
+            .map(|r| r.expect("every walk reports"))
+            .collect();
+        let winner = walk_results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.status == SolveStatus::Solved)
+            .min_by_key(|(rank, r)| (r.stats.iterations, *rank))
+            .map(|(rank, _)| rank);
+        MultiWalkResult {
+            solution: winner.and_then(|w| walk_results[w].solution.clone()),
+            winner,
+            elapsed,
+            walks: self.workers,
+            walk_results,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +288,51 @@ mod tests {
                 "seed {master_seed}"
             );
         }
+    }
+
+    #[test]
+    fn deterministic_run_replays_bit_for_bit_across_repeats() {
+        // The flag-free variant must be a pure function of (spec, seed, workers):
+        // same winner rank, same winning permutation, same per-walk statistics.
+        // A capped budget keeps non-solving walks bounded.
+        let spec =
+            WalkSpec::costas(12).with_config(AsConfig::builder().max_iterations(50_000).build());
+        let runner = ThreadRunner::new(spec, 4);
+        let a = runner.run_deterministic(2024);
+        let b = runner.run_deterministic(2024);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.walk_results.len(), b.walk_results.len());
+        for (rank, (ra, rb)) in a.walk_results.iter().zip(&b.walk_results).enumerate() {
+            assert_eq!(ra.status, rb.status, "rank {rank}");
+            assert_eq!(ra.solution, rb.solution, "rank {rank}");
+            assert_eq!(ra.stats, rb.stats, "rank {rank}");
+        }
+        assert!(a.solved(), "order 12 solves within the budget");
+        assert!(is_costas_permutation(a.solution.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn deterministic_winner_minimises_iterations_then_rank() {
+        let runner = ThreadRunner::new(WalkSpec::costas(10), 4);
+        let result = runner.run_deterministic(7);
+        assert!(result.solved());
+        let winner = result.winner.unwrap();
+        let expected = result
+            .walk_results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.status == SolveStatus::Solved)
+            .min_by_key(|(rank, r)| (r.stats.iterations, *rank))
+            .map(|(rank, _)| rank)
+            .unwrap();
+        assert_eq!(winner, expected);
+        assert_eq!(result.solution, result.walk_results[winner].solution);
+        // no early stop: every walk ran to its own conclusion
+        assert!(result
+            .walk_results
+            .iter()
+            .all(|r| r.status != SolveStatus::ExternallyStopped));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod ttt;
 
 pub use ecdf::Ecdf;
 pub use expfit::{fit_shifted_exponential, ShiftedExponential};
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use series::Series;
 pub use speedup::{observed_speedups, predicted_speedup, SpeedupPoint};
 pub use summary::BatchStats;

@@ -120,6 +120,32 @@ fn registry_workloads_solve_their_known_solvable_instances() {
     }
 }
 
+/// Determinism regression for the thread-backed multi-walk runner: the same
+/// master seed and thread count reproduce the identical winning permutation and
+/// identical per-walk statistics, run after run.  This is the property the
+/// strong-scaling harness (`bench::scaling`) leans on — its cells are labelled
+/// by `(model, threads, seed)` and must mean the same walks on every host —
+/// and it only holds for `run_deterministic`: the racy `run` path elects
+/// whichever solver reaches the winner mutex first.
+#[test]
+fn thread_runner_is_deterministic_for_fixed_seed_and_thread_count() {
+    use multiwalk::{ThreadRunner, WalkSpec};
+    for workers in [1usize, 2, 4] {
+        let spec = WalkSpec::costas(11);
+        let runner = ThreadRunner::new(spec, workers);
+        let a = runner.run_deterministic(0xC057_A512);
+        let b = runner.run_deterministic(0xC057_A512);
+        assert!(a.solved(), "{workers} workers");
+        assert_eq!(a.winner, b.winner, "{workers} workers");
+        assert_eq!(a.solution, b.solution, "{workers} workers");
+        assert!(is_costas_permutation(a.solution.as_ref().unwrap()));
+        for (rank, (ra, rb)) in a.walk_results.iter().zip(&b.walk_results).enumerate() {
+            assert_eq!(ra.status, rb.status, "{workers} workers, rank {rank}");
+            assert_eq!(ra.stats, rb.stats, "{workers} workers, rank {rank}");
+        }
+    }
+}
+
 #[test]
 fn solver_statistics_are_consistent_with_solving() {
     let result = solve_costas(14, 99);
