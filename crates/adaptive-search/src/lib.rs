@@ -36,6 +36,10 @@
 //! * [`tie_break`] — the uniform tie-break accumulator shared by the engine's
 //!   min-conflict scan and the baseline solvers.
 //! * [`multi_restart`] — a sequential driver with restart/benchmarking support.
+//! * [`request`] — the unified solve API ([`SolveRequest`] / [`SolveOutcome`]):
+//!   one typed request shape for every solve path in the workspace (baselines,
+//!   multi-walk fan-out, the `solverd` service), with typed errors instead of
+//!   panics for unknown keys and invalid warm starts.
 
 pub mod all_interval;
 pub mod config;
@@ -48,6 +52,7 @@ pub mod partition;
 pub mod problem;
 pub mod problems;
 pub mod queens;
+pub mod request;
 pub mod stats;
 pub mod tabu;
 pub mod termination;
@@ -59,6 +64,7 @@ pub use engine::{Engine, InjectOutcome, StepOutcome};
 pub use multi_restart::{solve_costas, solve_with_restarts, SequentialDriver};
 pub use problem::PermutationProblem;
 pub use problems::{DynProblem, ProblemInfo};
+pub use request::{RequestError, SolveOutcome, SolveRequest, Termination};
 pub use stats::{SearchStats, SolveResult, SolveStatus};
 pub use tabu::TabuList;
 pub use termination::{StopCondition, StopReason};

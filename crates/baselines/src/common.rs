@@ -2,9 +2,10 @@
 
 use std::time::{Duration, Instant};
 
-use adaptive_search::problems;
 use adaptive_search::termination::{DeadlineStop, NeverStop};
-use adaptive_search::{AsConfig, CostasModelConfig, CostasProblem, Engine, SolveResult};
+use adaptive_search::{
+    AsConfig, CostasModelConfig, CostasProblem, Engine, RequestError, SolveRequest, SolveResult,
+};
 use costas::CostModel;
 
 /// Resource budget for one solve call.
@@ -153,33 +154,29 @@ fn solve_within<P: adaptive_search::PermutationProblem>(
 /// predicate accepts the final configuration — never on the searcher's own
 /// cost bookkeeping alone.
 ///
-/// Returns `None` for unknown keys.
+/// Implemented over the unified [`SolveRequest`] API: the `(key, size, seed,
+/// budget)` tuple becomes one request and runs through
+/// [`SolveRequest::run`] — the exact path the `solverd` service executes — so
+/// a baseline row and a served response for the same request are the same
+/// computation.  An unknown key is a typed [`RequestError`], not a panic.
 pub fn solve_registry(
     key: &str,
     size: usize,
     seed: u64,
     budget: &SolverBudget,
-) -> Option<BaselineResult> {
-    let info = problems::find(key)?;
-    let config = AsConfig {
-        max_iterations: budget.max_moves,
-        ..(info.default_config)(size)
-    };
-    let mut engine = Engine::new((info.build)(size), config, seed);
-    let result = solve_within(&mut engine, budget);
-    let solved = result.is_solved()
-        && result
-            .solution
-            .as_deref()
-            .is_some_and(|s| (info.is_optimum)(s));
-    Some(BaselineResult {
-        solver: info.key,
-        solved,
-        solution: result.solution.filter(|_| solved),
-        moves: result.stats.iterations,
-        restarts: result.stats.restarts + result.stats.resets,
-        elapsed: result.elapsed,
-        best_cost: result.best_cost,
+) -> Result<BaselineResult, RequestError> {
+    let outcome = SolveRequest::new(key, size, seed)
+        .with_budget(budget.max_moves)
+        .with_deadline(budget.max_time)
+        .run()?;
+    Ok(BaselineResult {
+        solver: outcome.problem,
+        solved: outcome.is_solved(),
+        solution: outcome.solution,
+        moves: outcome.stats.iterations,
+        restarts: outcome.stats.restarts + outcome.stats.resets,
+        elapsed: outcome.elapsed,
+        best_cost: outcome.best_cost,
     })
 }
 
@@ -211,6 +208,7 @@ impl CostasSolver for AdaptiveSearchSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adaptive_search::problems;
     use costas::is_costas_permutation;
 
     #[test]
@@ -255,7 +253,14 @@ mod tests {
             assert_eq!(r.solver, info.key);
             assert!((info.is_optimum)(r.solution.as_ref().unwrap()));
         }
-        assert!(solve_registry("no-such-model", 5, 1, &SolverBudget::unlimited()).is_none());
+        let err = solve_registry("no-such-model", 5, 1, &SolverBudget::unlimited())
+            .expect_err("unknown key");
+        assert_eq!(
+            err,
+            RequestError::UnknownProblem {
+                key: "no-such-model".into()
+            }
+        );
     }
 
     #[test]

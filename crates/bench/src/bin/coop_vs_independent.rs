@@ -34,7 +34,11 @@
 //! real-hardware strong-scaling section (`scaling_curve/v1`, see
 //! `bench::scaling` and the `scaling_curve` harness) measured on actual OS
 //! threads, so the one committed artefact tracks simulated-core scaling shape,
-//! probe-path speed *and* real-thread speedup together.
+//! probe-path speed *and* real-thread speedup together.  The `solverd_load`
+//! rider (`solverd_load/v1`, see `bench::loadgen` and the `load_gen` harness)
+//! extends the same document with serving-side numbers — requests/sec
+//! sustained by the `solverd` service and submit-to-response latency
+//! percentiles under an open-loop request stream.
 
 use bench::protocol::{cooperative_cell, parallel_cell, CellMode, CellSummary, CoopCellSummary};
 use bench::scaling::{measure_model, scaling_section, ScalingOptions};
@@ -57,10 +61,7 @@ fn main() {
     // exchange round, which would make the comparison vacuous.
     let n = options.sizes(&[14], &[16])[0];
     let runs = options.runs(6, 50);
-    let exchange_interval = std::env::var("COSTAS_COOP_INTERVAL")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64u64);
+    let exchange_interval = bench::BenchConfig::get().coop_interval;
     let spec = WalkSpec::costas(n);
     let coop = CoopConfig::every(exchange_interval);
     let cluster = VirtualCluster::new(PlatformProfile::local());
@@ -184,12 +185,43 @@ fn main() {
         }
     }
 
+    // solverd_load/v1 rider: drive the solver service at the configured offered
+    // rate and record requests/sec + latency percentiles alongside the rest of
+    // the perf trajectory.
+    let load_opts = bench::loadgen::LoadOptions::from_env();
+    println!(
+        "Serving load: {} requests at {} req/s against {}:",
+        load_opts.requests,
+        load_opts.target_rps,
+        match &load_opts.remote_addr {
+            Some(addr) => format!("remote solverd {addr}"),
+            None => format!(
+                "an in-process pool ({} workers, queue {})",
+                load_opts.workers, load_opts.queue_capacity
+            ),
+        }
+    );
+    let load = bench::loadgen::run(&load_opts);
+    println!(
+        "  completed {}/{} (solved {}, overflow-rejected {}), {:.1} req/s, \
+         latency p50 {:.2} ms / p90 {:.2} ms / p99 {:.2} ms",
+        load.completed,
+        load.offered,
+        load.solved,
+        load.rejected_overflow,
+        load.requests_per_sec,
+        load.latency_ms(0.50),
+        load.latency_ms(0.90),
+        load.latency_ms(0.99),
+    );
+
     let doc = Json::object(vec![
         ("schema", Json::from("coop_vs_independent/v4")),
         (
             "scaling_curve",
             scaling_section(&curves, &scaling_opts, options.master_seed),
         ),
+        ("solverd_load", load.to_json()),
         ("n", Json::from(n)),
         ("runs", Json::from(runs)),
         ("master_seed", Json::from(options.master_seed)),

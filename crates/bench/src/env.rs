@@ -1,0 +1,279 @@
+//! Typed, parse-once configuration for every `COSTAS_*` environment knob.
+//!
+//! Before this module each harness read its own slice of the environment with
+//! `std::env::var(...).ok().and_then(|v| v.parse().ok())` — which meant a typo
+//! (`COSTAS_THREAD=8`, `COSTAS_RUNS=ten`) silently fell back to the default
+//! and the sweep quietly measured the wrong thing.  [`BenchConfig`] is the one
+//! place the environment is read:
+//!
+//! * every knob is parsed once into a typed field;
+//! * a `COSTAS_*` variable this version doesn't know is a **warning** (likely
+//!   a typo or a knob from a different version);
+//! * a value that fails to parse is a **warning** naming the variable, the
+//!   offending value and the default that was used instead.
+//!
+//! Warnings are collected on the config (testable via
+//! [`BenchConfig::from_vars`]) and printed to stderr exactly once by
+//! [`BenchConfig::get`], the process-wide accessor the harness binaries use.
+//!
+//! | Variable | Field | Meaning |
+//! |---|---|---|
+//! | `COSTAS_FULL` | `full` | paper-sized experiments (anything but `0`) |
+//! | `COSTAS_RUNS` | `runs_override` | repetition count override |
+//! | `COSTAS_SEED` | `master_seed` | master seed |
+//! | `COSTAS_BENCH_JSON` | `bench_json` | artefact destination override |
+//! | `COSTAS_THREADS` | `thread_counts` | scaling sweep thread counts (`"1,2,4"`) |
+//! | `COSTAS_SCALING_STEPS` | `scaling_steps` | per-walk budget of the scaling sweep |
+//! | `COSTAS_COOP_INTERVAL` | `coop_interval` | cooperative exchange interval |
+//! | `COSTAS_SOLVERD_ADDR` | `solverd_addr` | drive a remote solverd over TCP |
+//! | `COSTAS_LOAD_RPS` | `load_rps` | load_gen target request rate |
+//! | `COSTAS_LOAD_REQUESTS` | `load_requests` | load_gen request count |
+//! | `COSTAS_LOAD_WORKERS` | `load_workers` | load_gen in-process pool size |
+//! | `COSTAS_LOAD_QUEUE` | `load_queue` | load_gen admission-queue capacity |
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use crate::scaling::parse_thread_counts;
+
+/// Default master seed (spells "2012 Costas").
+pub const DEFAULT_MASTER_SEED: u64 = 0x0020_12C0_57A5;
+
+/// Every `COSTAS_*` knob, parsed once.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// `COSTAS_FULL`: run paper-sized experiments.
+    pub full: bool,
+    /// `COSTAS_RUNS`: repetition-count override.
+    pub runs_override: Option<usize>,
+    /// `COSTAS_SEED`: master seed.
+    pub master_seed: u64,
+    /// `COSTAS_BENCH_JSON`: artefact destination override.
+    pub bench_json: Option<PathBuf>,
+    /// `COSTAS_THREADS`: scaling-sweep thread counts (`None` = harness default).
+    pub thread_counts: Option<Vec<usize>>,
+    /// `COSTAS_SCALING_STEPS`: per-walk budget override for the scaling sweep.
+    pub scaling_steps: Option<u64>,
+    /// `COSTAS_COOP_INTERVAL`: cooperative exchange interval.
+    pub coop_interval: u64,
+    /// `COSTAS_SOLVERD_ADDR`: when set, `load_gen` drives this TCP endpoint
+    /// instead of an in-process service.
+    pub solverd_addr: Option<String>,
+    /// `COSTAS_LOAD_RPS`: `load_gen` target offered rate (requests/second).
+    pub load_rps: f64,
+    /// `COSTAS_LOAD_REQUESTS`: `load_gen` total request count.
+    pub load_requests: usize,
+    /// `COSTAS_LOAD_WORKERS`: worker-pool size of `load_gen`'s in-process service.
+    pub load_workers: usize,
+    /// `COSTAS_LOAD_QUEUE`: admission-queue capacity of that service.
+    pub load_queue: usize,
+    /// Diagnostics accumulated during parsing (unknown variables, bad values).
+    pub warnings: Vec<String>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            full: false,
+            runs_override: None,
+            master_seed: DEFAULT_MASTER_SEED,
+            bench_json: None,
+            thread_counts: None,
+            scaling_steps: None,
+            coop_interval: 64,
+            solverd_addr: None,
+            load_rps: 20.0,
+            load_requests: 60,
+            load_workers: 2,
+            load_queue: 16,
+            warnings: Vec::new(),
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The process-wide configuration, parsed from the environment on first
+    /// use; parse warnings are printed to stderr exactly once, here.
+    pub fn get() -> &'static BenchConfig {
+        static CONFIG: OnceLock<BenchConfig> = OnceLock::new();
+        CONFIG.get_or_init(|| {
+            let config = BenchConfig::from_vars(std::env::vars());
+            for warning in &config.warnings {
+                eprintln!("bench config: {warning}");
+            }
+            config
+        })
+    }
+
+    /// Parse a configuration from explicit `(name, value)` pairs (the testable
+    /// core of [`BenchConfig::get`]).  Non-`COSTAS_*` variables are ignored.
+    pub fn from_vars(vars: impl IntoIterator<Item = (String, String)>) -> Self {
+        let mut config = BenchConfig::default();
+        for (name, value) in vars {
+            if !name.starts_with("COSTAS_") {
+                continue;
+            }
+            match name.as_str() {
+                "COSTAS_FULL" => config.full = value != "0",
+                "COSTAS_RUNS" => match value.parse() {
+                    Ok(runs) => config.runs_override = Some(runs),
+                    Err(_) => config.warn_parse(&name, &value, "ignored"),
+                },
+                "COSTAS_SEED" => match value.parse() {
+                    Ok(seed) => config.master_seed = seed,
+                    Err(_) => {
+                        let default = config.master_seed;
+                        config.warn_parse(&name, &value, &format!("using {default:#x}"));
+                    }
+                },
+                "COSTAS_BENCH_JSON" => config.bench_json = Some(PathBuf::from(value)),
+                "COSTAS_THREADS" => {
+                    // parse_thread_counts is forgiving by design (falls back to
+                    // [1]); surface that fallback instead of measuring nothing
+                    // silently.
+                    let counts = parse_thread_counts(&value);
+                    if counts == [1] && value.trim() != "1" {
+                        config.warn_parse(&name, &value, "falling back to thread count 1");
+                    }
+                    config.thread_counts = Some(counts);
+                }
+                "COSTAS_SCALING_STEPS" => match value.parse() {
+                    Ok(steps) => config.scaling_steps = Some(steps),
+                    Err(_) => config.warn_parse(&name, &value, "using the harness default"),
+                },
+                "COSTAS_COOP_INTERVAL" => match value.parse() {
+                    Ok(interval) => config.coop_interval = interval,
+                    Err(_) => {
+                        let default = config.coop_interval;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_SOLVERD_ADDR" => config.solverd_addr = Some(value),
+                "COSTAS_LOAD_RPS" => match value.parse::<f64>() {
+                    Ok(rps) if rps > 0.0 && rps.is_finite() => config.load_rps = rps,
+                    _ => {
+                        let default = config.load_rps;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_LOAD_REQUESTS" => match value.parse() {
+                    Ok(requests) => config.load_requests = requests,
+                    Err(_) => {
+                        let default = config.load_requests;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_LOAD_WORKERS" => match value.parse::<usize>() {
+                    Ok(workers) if workers > 0 => config.load_workers = workers,
+                    _ => {
+                        let default = config.load_workers;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_LOAD_QUEUE" => match value.parse::<usize>() {
+                    Ok(capacity) if capacity > 0 => config.load_queue = capacity,
+                    _ => {
+                        let default = config.load_queue;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                _ => config.warnings.push(format!(
+                    "unknown variable {name} (typo? this version knows: FULL, RUNS, SEED, \
+                     BENCH_JSON, THREADS, SCALING_STEPS, COOP_INTERVAL, SOLVERD_ADDR, \
+                     LOAD_RPS, LOAD_REQUESTS, LOAD_WORKERS, LOAD_QUEUE)"
+                )),
+            }
+        }
+        config
+    }
+
+    fn warn_parse(&mut self, name: &str, value: &str, action: &str) {
+        self.warnings
+            .push(format!("could not parse {name}={value:?}; {action}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn vars(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn defaults_apply_with_an_empty_environment() {
+        let config = BenchConfig::from_vars(vars(&[]));
+        assert!(!config.full);
+        assert_eq!(config.runs_override, None);
+        assert_eq!(config.master_seed, DEFAULT_MASTER_SEED);
+        assert_eq!(config.coop_interval, 64);
+        assert!(config.warnings.is_empty());
+    }
+
+    #[test]
+    fn every_knob_parses() {
+        let config = BenchConfig::from_vars(vars(&[
+            ("COSTAS_FULL", "1"),
+            ("COSTAS_RUNS", "7"),
+            ("COSTAS_SEED", "12345"),
+            ("COSTAS_BENCH_JSON", "out.json"),
+            ("COSTAS_THREADS", "1,2,8"),
+            ("COSTAS_SCALING_STEPS", "9000"),
+            ("COSTAS_COOP_INTERVAL", "128"),
+            ("COSTAS_SOLVERD_ADDR", "127.0.0.1:7777"),
+            ("COSTAS_LOAD_RPS", "12.5"),
+            ("COSTAS_LOAD_REQUESTS", "99"),
+            ("COSTAS_LOAD_WORKERS", "3"),
+            ("COSTAS_LOAD_QUEUE", "5"),
+            ("PATH", "/usr/bin"), // non-COSTAS vars are ignored
+        ]));
+        assert!(config.full);
+        assert_eq!(config.runs_override, Some(7));
+        assert_eq!(config.master_seed, 12345);
+        assert_eq!(config.bench_json.as_deref(), Some(Path::new("out.json")));
+        assert_eq!(config.thread_counts.as_deref(), Some(&[1, 2, 8][..]));
+        assert_eq!(config.scaling_steps, Some(9000));
+        assert_eq!(config.coop_interval, 128);
+        assert_eq!(config.solverd_addr.as_deref(), Some("127.0.0.1:7777"));
+        assert_eq!(config.load_rps, 12.5);
+        assert_eq!(config.load_requests, 99);
+        assert_eq!(config.load_workers, 3);
+        assert_eq!(config.load_queue, 5);
+        assert!(config.warnings.is_empty(), "{:?}", config.warnings);
+    }
+
+    #[test]
+    fn unknown_costas_variables_warn() {
+        let config = BenchConfig::from_vars(vars(&[("COSTAS_THREAD", "8")]));
+        assert_eq!(config.warnings.len(), 1);
+        assert!(config.warnings[0].contains("COSTAS_THREAD"));
+        assert!(config.warnings[0].contains("unknown"));
+        // ...and did not silently change any knob
+        assert_eq!(config.thread_counts, None);
+    }
+
+    #[test]
+    fn parse_failures_warn_and_keep_the_default() {
+        let config = BenchConfig::from_vars(vars(&[
+            ("COSTAS_RUNS", "ten"),
+            ("COSTAS_SEED", "0xNOPE"),
+            ("COSTAS_LOAD_RPS", "-3"),
+            ("COSTAS_LOAD_WORKERS", "0"),
+            ("COSTAS_THREADS", "zero,none"),
+        ]));
+        assert_eq!(config.runs_override, None);
+        assert_eq!(config.master_seed, DEFAULT_MASTER_SEED);
+        assert_eq!(config.load_rps, BenchConfig::default().load_rps);
+        assert_eq!(config.load_workers, BenchConfig::default().load_workers);
+        assert_eq!(config.thread_counts.as_deref(), Some(&[1][..]));
+        assert_eq!(config.warnings.len(), 5, "{:?}", config.warnings);
+        for warning in &config.warnings {
+            assert!(warning.contains("could not parse"), "{warning}");
+        }
+    }
+}

@@ -16,11 +16,15 @@
 
 use std::path::{Path, PathBuf};
 
+pub mod env;
+pub mod loadgen;
 pub mod protocol;
 pub mod scaling;
 pub mod schema;
 pub mod tables;
 pub mod throughput;
+
+pub use env::BenchConfig;
 
 /// Runtime options shared by every harness binary.
 #[derive(Debug, Clone)]
@@ -34,22 +38,15 @@ pub struct HarnessOptions {
 }
 
 impl HarnessOptions {
-    /// Read options from the environment (`COSTAS_FULL`, `COSTAS_RUNS`, `COSTAS_SEED`).
+    /// Read options from the process-wide [`BenchConfig`] (`COSTAS_FULL`,
+    /// `COSTAS_RUNS`, `COSTAS_SEED`), which parses the environment once and
+    /// warns about unknown variables and unparseable values.
     pub fn from_env() -> Self {
-        let full = std::env::var("COSTAS_FULL")
-            .map(|v| v != "0")
-            .unwrap_or(false);
-        let runs_override = std::env::var("COSTAS_RUNS")
-            .ok()
-            .and_then(|v| v.parse().ok());
-        let master_seed = std::env::var("COSTAS_SEED")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0x0020_12C0_57A5_u64);
+        let config = BenchConfig::get();
         Self {
-            full,
-            runs_override,
-            master_seed,
+            full: config.full,
+            runs_override: config.runs_override,
+            master_seed: config.master_seed,
         }
     }
 
@@ -76,7 +73,7 @@ impl Default for HarnessOptions {
         Self {
             full: false,
             runs_override: None,
-            master_seed: 0x0020_12C0_57A5,
+            master_seed: env::DEFAULT_MASTER_SEED,
         }
     }
 }
@@ -102,9 +99,10 @@ pub fn write_csv(name: &str, contents: &str) -> PathBuf {
 /// `BENCH_ci.json` so `actions/upload-artifact` accumulates the perf trajectory),
 /// otherwise `default_name` in the current directory.  Returns the path written.
 pub fn write_bench_json(default_name: &str, doc: &runtime_stats::Json) -> PathBuf {
-    let path = std::env::var("COSTAS_BENCH_JSON")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from(default_name));
+    let path = BenchConfig::get()
+        .bench_json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(default_name));
     std::fs::write(&path, doc.render()).expect("write benchmark JSON");
     path
 }

@@ -1,0 +1,417 @@
+//! Load generation against a `solverd` service (`solverd_load/v1`).
+//!
+//! Drives a solver service at a configurable offered rate with a deterministic
+//! request mix over the workload registry, and reduces the response stream to
+//! the serving-side numbers the north star cares about: requests/sec actually
+//! sustained, solve-success rate, and latency percentiles (p50/p90/p99, from
+//! submission to response line).
+//!
+//! Two transports, same accounting:
+//!
+//! * **in-process** (default): the service's worker pool runs inside the
+//!   bench process and requests are submitted straight to the admission queue
+//!   — no socket noise, reproducible in CI;
+//! * **TCP** (`COSTAS_SOLVERD_ADDR=host:port`): lines are written to a running
+//!   `solverd --tcp` instance, so the measured latency includes the real
+//!   protocol round-trip.
+//!
+//! The offered rate is open-loop: request `i` is submitted at
+//! `start + i/target_rps` regardless of how responses are going, which is what
+//! makes queue-full rejections a *measurement* of backpressure rather than an
+//! artefact of a stalling client.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use runtime_stats::{BatchStats, Json};
+use solverd::{Service, ServiceConfig};
+
+use crate::env::BenchConfig;
+use crate::schema::SOLVERD_LOAD_SCHEMA;
+
+/// Knobs of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Offered request rate (requests/second, open loop).
+    pub target_rps: f64,
+    /// Total requests to offer.
+    pub requests: usize,
+    /// Worker-pool size of the in-process service (ignored for TCP).
+    pub workers: usize,
+    /// Admission-queue capacity of the in-process service (ignored for TCP).
+    pub queue_capacity: usize,
+    /// Master seed; request seeds derive from it, so a rerun offers the
+    /// identical request stream.
+    pub master_seed: u64,
+    /// Drive a remote `solverd --tcp` endpoint instead of an in-process pool.
+    pub remote_addr: Option<String>,
+}
+
+impl LoadOptions {
+    /// Read the knobs from the process-wide [`BenchConfig`]
+    /// (`COSTAS_LOAD_RPS`, `COSTAS_LOAD_REQUESTS`, `COSTAS_LOAD_WORKERS`,
+    /// `COSTAS_LOAD_QUEUE`, `COSTAS_SOLVERD_ADDR`, `COSTAS_SEED`).
+    pub fn from_env() -> Self {
+        let config = BenchConfig::get();
+        Self {
+            target_rps: config.load_rps,
+            requests: config.load_requests,
+            workers: config.load_workers,
+            queue_capacity: config.load_queue,
+            master_seed: config.master_seed,
+            remote_addr: config.solverd_addr.clone(),
+        }
+    }
+}
+
+/// The reduced result of one load run — everything the `solverd_load/v1`
+/// artefact section records.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// `"in-process"` or `"tcp"`.
+    pub mode: &'static str,
+    /// Pool size (0 when unknown, i.e. a remote service).
+    pub workers: usize,
+    /// Admission-queue capacity (0 when unknown).
+    pub queue_capacity: usize,
+    /// Offered rate the run targeted.
+    pub target_rps: f64,
+    /// Requests offered.
+    pub offered: usize,
+    /// Requests admitted (= answered with `"status":"ok"`; the service answers
+    /// every admitted request).
+    pub completed: usize,
+    /// Backpressure rejections (`"queue-full"`).
+    pub rejected_overflow: usize,
+    /// Any other non-ok response (invalid request, parse error) — a correct
+    /// generator against a correct service produces zero of these.
+    pub rejected_other: usize,
+    /// Completed requests that solved.
+    pub solved: usize,
+    /// Completed requests whose deadline expired first.
+    pub deadline_expired: usize,
+    /// Completed requests whose iteration budget ran out first.
+    pub budget_exhausted: usize,
+    /// Completed requests cancelled by the service (none in this harness).
+    pub cancelled: usize,
+    /// Wall-clock of the whole run, submission of the first request to the
+    /// last response.
+    pub elapsed_s: f64,
+    /// Completed requests per second of wall-clock.
+    pub requests_per_sec: f64,
+    /// Submission-to-response latency of every completed request, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Master seed of the request stream.
+    pub master_seed: u64,
+}
+
+impl LoadReport {
+    /// Latency quantile in milliseconds (NaN when nothing completed; NaN
+    /// renders as JSON `null`).
+    pub fn latency_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            f64::NAN
+        } else {
+            BatchStats::quantile_of(&self.latencies_ms, q)
+        }
+    }
+
+    /// The report as a `solverd_load/v1` JSON section.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema", Json::from(SOLVERD_LOAD_SCHEMA)),
+            ("mode", Json::from(self.mode)),
+            ("workers", Json::from(self.workers)),
+            ("queue_capacity", Json::from(self.queue_capacity)),
+            ("target_rps", Json::from(self.target_rps)),
+            ("offered", Json::from(self.offered)),
+            ("completed", Json::from(self.completed)),
+            ("rejected_overflow", Json::from(self.rejected_overflow)),
+            ("rejected_other", Json::from(self.rejected_other)),
+            ("solved", Json::from(self.solved)),
+            ("deadline_expired", Json::from(self.deadline_expired)),
+            ("budget_exhausted", Json::from(self.budget_exhausted)),
+            ("cancelled", Json::from(self.cancelled)),
+            ("elapsed_s", Json::from(self.elapsed_s)),
+            ("requests_per_sec", Json::from(self.requests_per_sec)),
+            (
+                "latency_ms",
+                Json::object(vec![
+                    ("p50", Json::from(self.latency_ms(0.50))),
+                    ("p90", Json::from(self.latency_ms(0.90))),
+                    ("p99", Json::from(self.latency_ms(0.99))),
+                ]),
+            ),
+            ("master_seed", Json::from(self.master_seed)),
+        ])
+    }
+}
+
+/// The deterministic request mix: small registry instances that solve in
+/// milliseconds (so a load run measures *serving*, not one hard search), with
+/// every 7th request an explicit 2-walk fan-out at the Costas bench size under
+/// a tight budget + deadline, so the race path and the deadline path both see
+/// traffic.
+pub fn request_line(index: usize, master_seed: u64) -> String {
+    // SplitMix64-style derivation: decorrelated per-request seeds from one knob.
+    let seed = (master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    if index % 7 == 6 {
+        return format!(
+            r#"{{"id":"q{index}","problem":"costas","n":18,"seed":{seed},"budget":150000,"deadline_ms":2000,"walks":2}}"#
+        );
+    }
+    const MIX: &[(&str, usize)] = &[
+        ("costas", 12),
+        ("n-queens", 30),
+        ("all-interval", 10),
+        ("langford", 8),
+        ("magic-square", 4),
+        ("number-partitioning", 12),
+    ];
+    let (problem, n) = MIX[index % MIX.len()];
+    format!(
+        r#"{{"id":"q{index}","problem":"{problem}","n":{n},"seed":{seed},"budget":400000,"deadline_ms":10000}}"#
+    )
+}
+
+/// Run the load: in-process pool by default, TCP when
+/// [`LoadOptions::remote_addr`] is set.
+pub fn run(opts: &LoadOptions) -> LoadReport {
+    match &opts.remote_addr {
+        Some(addr) => run_tcp(opts, addr),
+        None => run_in_process(opts),
+    }
+}
+
+fn run_in_process(opts: &LoadOptions) -> LoadReport {
+    let service = Service::start(ServiceConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue_capacity,
+        fanout_walks: 2,
+    });
+    let (tx, rx) = mpsc::channel::<String>();
+    let collector = std::thread::spawn(move || {
+        let mut events: Vec<(Instant, String)> = Vec::new();
+        for line in rx {
+            events.push((Instant::now(), line));
+        }
+        events
+    });
+
+    let start = Instant::now();
+    let sent = pace_requests(opts, start, |line| {
+        service.submit(line, &tx);
+    });
+    drop(tx);
+    // Graceful drop: drains the queue, so every admitted request is answered
+    // and the collector's channel closes only after the last response.
+    drop(service);
+    let events = collector.join().expect("collector thread");
+    let elapsed = start.elapsed();
+    reduce(
+        opts,
+        "in-process",
+        opts.workers,
+        opts.queue_capacity,
+        sent,
+        events,
+        elapsed,
+    )
+}
+
+fn run_tcp(opts: &LoadOptions, addr: &str) -> LoadReport {
+    let stream =
+        TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect to solverd at {addr}: {e}"));
+    let reader = BufReader::new(stream.try_clone().expect("clone TCP stream"));
+    let expected = opts.requests;
+    let collector = std::thread::spawn(move || {
+        let mut events: Vec<(Instant, String)> = Vec::new();
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            events.push((Instant::now(), line));
+            if events.len() == expected {
+                break; // one response per request: done without waiting for EOF
+            }
+        }
+        events
+    });
+
+    let mut writer = &stream;
+    let start = Instant::now();
+    let sent = pace_requests(opts, start, |line| {
+        writeln!(writer, "{line}").expect("write request line");
+    });
+    let _ = writer.flush();
+    let events = collector.join().expect("collector thread");
+    let elapsed = start.elapsed();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    // Remote pool shape is unknown here; 0 marks "not measured".
+    reduce(opts, "tcp", 0, 0, sent, events, elapsed)
+}
+
+/// Open-loop pacing: request `i` goes out at `start + i/target_rps`, however
+/// the service is doing.  Returns the submission instant of every request.
+fn pace_requests(opts: &LoadOptions, start: Instant, mut submit: impl FnMut(&str)) -> Vec<Instant> {
+    let period = Duration::from_secs_f64(1.0 / opts.target_rps.max(f64::MIN_POSITIVE));
+    let mut sent = Vec::with_capacity(opts.requests);
+    for i in 0..opts.requests {
+        let due = start + period.mul_f64(i as f64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let line = request_line(i, opts.master_seed);
+        sent.push(Instant::now());
+        submit(&line);
+    }
+    sent
+}
+
+fn reduce(
+    opts: &LoadOptions,
+    mode: &'static str,
+    workers: usize,
+    queue_capacity: usize,
+    sent: Vec<Instant>,
+    events: Vec<(Instant, String)>,
+    elapsed: Duration,
+) -> LoadReport {
+    let mut report = LoadReport {
+        mode,
+        workers,
+        queue_capacity,
+        target_rps: opts.target_rps,
+        offered: opts.requests,
+        completed: 0,
+        rejected_overflow: 0,
+        rejected_other: 0,
+        solved: 0,
+        deadline_expired: 0,
+        budget_exhausted: 0,
+        cancelled: 0,
+        elapsed_s: elapsed.as_secs_f64(),
+        requests_per_sec: 0.0,
+        latencies_ms: Vec::new(),
+        master_seed: opts.master_seed,
+    };
+    for (received, line) in events {
+        let doc = Json::parse(&line).expect("service responses are valid JSON");
+        let status = doc.get("status").and_then(Json::as_str).unwrap_or("");
+        match status {
+            "ok" => {
+                report.completed += 1;
+                match doc.get("termination").and_then(Json::as_str) {
+                    Some("solved") => report.solved += 1,
+                    Some("deadline") => report.deadline_expired += 1,
+                    Some("budget") => report.budget_exhausted += 1,
+                    _ => report.cancelled += 1,
+                }
+                // "q<i>" → submission instant of request i.
+                if let Some(i) = doc
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .and_then(|id| id.strip_prefix('q'))
+                    .and_then(|digits| digits.parse::<usize>().ok())
+                {
+                    if let Some(&submitted) = sent.get(i) {
+                        report
+                            .latencies_ms
+                            .push(received.duration_since(submitted).as_secs_f64() * 1e3);
+                    }
+                }
+            }
+            "rejected" if doc.get("reason").and_then(Json::as_str) == Some("queue-full") => {
+                report.rejected_overflow += 1;
+            }
+            _ => report.rejected_other += 1,
+        }
+    }
+    report.requests_per_sec = report.completed as f64 / report.elapsed_s.max(f64::MIN_POSITIVE);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::validate_bench_doc;
+
+    fn quick_opts() -> LoadOptions {
+        LoadOptions {
+            target_rps: 200.0,
+            requests: 15,
+            workers: 2,
+            queue_capacity: 16,
+            master_seed: 7,
+            remote_addr: None,
+        }
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_and_parseable() {
+        for i in 0..20 {
+            assert_eq!(request_line(i, 7), request_line(i, 7));
+            let wire = solverd::parse_request(&request_line(i, 7)).expect("mix lines parse");
+            assert_eq!(wire.id, format!("q{i}"));
+            assert!(wire.request.validate().is_ok(), "index {i}");
+        }
+        // the fan-out leg appears at every 7th slot
+        assert!(request_line(6, 7).contains("\"walks\":2"));
+        assert_ne!(
+            request_line(0, 1),
+            request_line(0, 2),
+            "seed varies the stream"
+        );
+    }
+
+    #[test]
+    fn in_process_burst_accounts_for_every_request() {
+        let report = run(&quick_opts());
+        assert_eq!(report.offered, 15);
+        assert_eq!(
+            report.completed + report.rejected_overflow + report.rejected_other,
+            report.offered,
+            "every offered request is accounted for"
+        );
+        assert_eq!(
+            report.rejected_other, 0,
+            "the generator only sends valid requests"
+        );
+        assert_eq!(
+            report.solved + report.deadline_expired + report.budget_exhausted + report.cancelled,
+            report.completed
+        );
+        assert!(report.solved > 0, "small instances solve under light load");
+        assert_eq!(report.latencies_ms.len(), report.completed);
+        assert!(report.requests_per_sec > 0.0);
+        assert!(report.latency_ms(0.5) >= 0.0);
+        assert!(report.latency_ms(0.5) <= report.latency_ms(0.99));
+    }
+
+    #[test]
+    fn report_emits_a_valid_solverd_load_section() {
+        let report = run(&quick_opts());
+        let doc = Json::parse(&report.to_json().render()).expect("round-trips");
+        validate_bench_doc(&doc).expect("solverd_load/v1 validates");
+    }
+
+    #[test]
+    fn overflow_is_measured_under_a_starved_pool() {
+        // 1 worker, 1 queue slot, a fast burst: most of the burst must bounce,
+        // and everything still adds up.
+        let report = run(&LoadOptions {
+            target_rps: 5000.0,
+            requests: 12,
+            workers: 1,
+            queue_capacity: 1,
+            master_seed: 11,
+            remote_addr: None,
+        });
+        assert!(report.rejected_overflow > 0, "backpressure must trigger");
+        assert_eq!(
+            report.completed + report.rejected_overflow + report.rejected_other,
+            report.offered
+        );
+    }
+}

@@ -50,19 +50,21 @@ pub struct ScalingOptions {
 }
 
 impl ScalingOptions {
-    /// Read the sweep shape from the environment on top of the shared harness
-    /// options: `COSTAS_THREADS` (comma-separated, default `1,2,4`) and
-    /// `COSTAS_SCALING_STEPS` (per-walk budget, default 20k quick / 200k full);
-    /// repetitions follow `COSTAS_RUNS` / `COSTAS_FULL` as everywhere else.
+    /// Read the sweep shape from the process-wide [`crate::BenchConfig`] on
+    /// top of the shared harness options: `COSTAS_THREADS` (comma-separated,
+    /// default `1,2,4`) and `COSTAS_SCALING_STEPS` (per-walk budget, default
+    /// 20k quick / 200k full); repetitions follow `COSTAS_RUNS` /
+    /// `COSTAS_FULL` as everywhere else.
     pub fn from_env(harness: &HarnessOptions) -> Self {
-        let thread_counts = std::env::var("COSTAS_THREADS")
-            .ok()
-            .map(|v| parse_thread_counts(&v))
+        let config = crate::BenchConfig::get();
+        let thread_counts = config
+            .thread_counts
+            .clone()
             .unwrap_or_else(|| vec![1, 2, 4]);
-        let steps_per_walk = std::env::var("COSTAS_SCALING_STEPS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(if harness.full { 200_000 } else { 20_000 });
+        let steps_per_walk =
+            config
+                .scaling_steps
+                .unwrap_or(if harness.full { 200_000 } else { 20_000 });
         Self {
             thread_counts,
             steps_per_walk,
@@ -191,7 +193,9 @@ pub fn measure_model(key: &str, opts: &ScalingOptions, master_seed: u64) -> Mode
             max_iterations: opts.steps_per_walk,
             ..(info.default_config)(info.bench_size)
         };
-        let spec = WalkSpec::for_problem(key, info.bench_size).with_config(config);
+        let spec = WalkSpec::for_problem(key, info.bench_size)
+            .expect("registry key resolved above")
+            .with_config(config);
         let runner = ThreadRunner::new(spec, threads);
         let result =
             runner.run_deterministic(cell_seed(master_seed, info.bench_size, threads, 0xBEAC));
@@ -199,7 +203,8 @@ pub fn measure_model(key: &str, opts: &ScalingOptions, master_seed: u64) -> Mode
         let seconds = result.elapsed.as_secs_f64();
 
         // Time-to-target leg: racing jobs at the solvable size.
-        let ttt_spec = WalkSpec::for_problem(key, target_size);
+        let ttt_spec =
+            WalkSpec::for_problem(key, target_size).expect("registry key resolved above");
         let ttt_runner = ThreadRunner::new(ttt_spec, threads);
         let mut times = Vec::with_capacity(opts.ttt_runs);
         for run in 0..opts.ttt_runs {

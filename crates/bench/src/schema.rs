@@ -10,7 +10,8 @@
 //!
 //! This module is that contract, in code: one validator per current section
 //! schema ([`validate_coop_vs_independent`], [`validate_probe_throughput`],
-//! [`validate_scaling_curve`]) plus a dispatching [`validate_bench_doc`] that
+//! [`validate_scaling_curve`], [`validate_solverd_load`]) plus a dispatching
+//! [`validate_bench_doc`] that
 //! recognises a document by its `schema` field and rejects superseded versions
 //! (`coop_vs_independent/v2`/`v3`, `probe_throughput/v1`/`v2`, …) with an error
 //! naming the expected one.  Validators are pure functions over parsed
@@ -25,6 +26,8 @@ pub const COOP_VS_INDEPENDENT_SCHEMA: &str = "coop_vs_independent/v4";
 pub const PROBE_THROUGHPUT_SCHEMA: &str = "probe_throughput/v3";
 /// Current schema tag of the strong-scaling section.
 pub const SCALING_CURVE_SCHEMA: &str = "scaling_curve/v1";
+/// Current schema tag of the solverd load-generation section.
+pub const SOLVERD_LOAD_SCHEMA: &str = "solverd_load/v1";
 
 fn schema_of(doc: &Json) -> Result<&str, String> {
     doc.get("schema")
@@ -118,6 +121,72 @@ pub fn validate_coop_vs_independent(doc: &Json) -> Result<(), String> {
     validate_throughput_entries(throughput)?;
     if let Some(scaling) = doc.get("scaling_curve") {
         validate_scaling_curve(scaling)?;
+    }
+    if let Some(load) = doc.get("solverd_load") {
+        validate_solverd_load(load)?;
+    }
+    Ok(())
+}
+
+/// Validate a `solverd_load/v1` section (standalone document or rider): the
+/// load-generation report of `bench::loadgen` / the `load_gen` harness.
+///
+/// Beyond field shape this checks the accounting invariants a correct
+/// service + generator pair must satisfy: every offered request is either
+/// completed or rejected, and every completed request has exactly one
+/// termination class.
+pub fn validate_solverd_load(section: &Json) -> Result<(), String> {
+    require_schema(section, SOLVERD_LOAD_SCHEMA)?;
+    let mode = section
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "solverd_load: missing string \"mode\"".to_string())?;
+    if mode != "in-process" && mode != "tcp" {
+        return Err(format!(
+            "solverd_load: mode {mode:?} is neither \"in-process\" nor \"tcp\""
+        ));
+    }
+    let workers = require_u64(section, "workers", "solverd_load")?;
+    require_u64(section, "queue_capacity", "solverd_load")?;
+    if mode == "in-process" && workers == 0 {
+        return Err("solverd_load: in-process mode requires workers >= 1".into());
+    }
+    let rps = require_number(section, "target_rps", "solverd_load")?;
+    if rps <= 0.0 || rps.is_nan() {
+        return Err(format!("solverd_load: target_rps {rps} must be > 0"));
+    }
+    require_u64(section, "master_seed", "solverd_load")?;
+    require_number(section, "elapsed_s", "solverd_load")?;
+    require_number(section, "requests_per_sec", "solverd_load")?;
+    let offered = require_u64(section, "offered", "solverd_load")?;
+    if offered == 0 {
+        return Err("solverd_load: offered must be >= 1".into());
+    }
+    let completed = require_u64(section, "completed", "solverd_load")?;
+    let overflow = require_u64(section, "rejected_overflow", "solverd_load")?;
+    let other = require_u64(section, "rejected_other", "solverd_load")?;
+    if completed + overflow + other != offered {
+        return Err(format!(
+            "solverd_load: completed {completed} + rejected_overflow {overflow} \
+             + rejected_other {other} != offered {offered}"
+        ));
+    }
+    let solved = require_u64(section, "solved", "solverd_load")?;
+    let deadline = require_u64(section, "deadline_expired", "solverd_load")?;
+    let budget = require_u64(section, "budget_exhausted", "solverd_load")?;
+    let cancelled = require_u64(section, "cancelled", "solverd_load")?;
+    if solved + deadline + budget + cancelled != completed {
+        return Err(format!(
+            "solverd_load: terminations {} != completed {completed}",
+            solved + deadline + budget + cancelled
+        ));
+    }
+    let latency = section
+        .get("latency_ms")
+        .ok_or_else(|| "solverd_load: missing \"latency_ms\"".to_string())?;
+    require_object(latency, "solverd_load latency_ms")?;
+    for key in ["p50", "p90", "p99"] {
+        require_nullable_number(latency, key, "solverd_load latency_ms")?;
     }
     Ok(())
 }
@@ -214,6 +283,7 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
         Some("coop_vs_independent") => validate_coop_vs_independent(doc),
         Some("probe_throughput") => validate_probe_throughput(doc),
         Some("scaling_curve") => validate_scaling_curve(doc),
+        Some("solverd_load") => validate_solverd_load(doc),
         _ => Err(format!("unknown benchmark schema {schema:?}")),
     }
 }
@@ -263,6 +333,28 @@ mod tests {
         crate::scaling::scaling_section(&[curve], &opts, 7)
     }
 
+    fn sample_load_section() -> Json {
+        crate::loadgen::LoadReport {
+            mode: "in-process",
+            workers: 2,
+            queue_capacity: 16,
+            target_rps: 20.0,
+            offered: 10,
+            completed: 8,
+            rejected_overflow: 2,
+            rejected_other: 0,
+            solved: 7,
+            deadline_expired: 1,
+            budget_exhausted: 0,
+            cancelled: 0,
+            elapsed_s: 0.6,
+            requests_per_sec: 13.3,
+            latencies_ms: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            master_seed: 7,
+        }
+        .to_json()
+    }
+
     fn sample_coop_doc() -> Json {
         let side = Json::object(vec![
             ("mean_iterations", Json::from(1000.0)),
@@ -300,6 +392,7 @@ mod tests {
                 Json::Array(vec![sample_throughput_entry()]),
             ),
             ("scaling_curve", sample_scaling_section()),
+            ("solverd_load", sample_load_section()),
         ])
     }
 
@@ -323,6 +416,44 @@ mod tests {
         let scaling = sample_scaling_section();
         let parsed = Json::parse(&scaling.render()).expect("scaling section parses");
         validate_bench_doc(&parsed).expect("scaling_curve/v1 validates");
+
+        let load = sample_load_section();
+        let parsed = Json::parse(&load.render()).expect("load section parses");
+        validate_bench_doc(&parsed).expect("solverd_load/v1 validates");
+    }
+
+    /// The load validator enforces the admission/termination accounting, not
+    /// just field shape.
+    #[test]
+    fn solverd_load_accounting_violations_are_caught() {
+        let poke = |key: &str, value: Json| {
+            let mut section = sample_load_section();
+            if let Json::Object(map) = &mut section {
+                map.insert(key.into(), value);
+            }
+            validate_solverd_load(&section)
+        };
+        assert!(poke("completed", Json::from(5u64))
+            .expect_err("admission mismatch")
+            .contains("offered"));
+        assert!(poke("solved", Json::from(99u64))
+            .expect_err("termination mismatch")
+            .contains("terminations"));
+        assert!(poke("mode", Json::from("carrier-pigeon"))
+            .expect_err("bad mode")
+            .contains("mode"));
+        assert!(poke("target_rps", Json::from(0.0))
+            .expect_err("zero rate")
+            .contains("target_rps"));
+        assert!(poke("offered", Json::from(0u64)).is_err());
+        // tcp mode may legitimately report an unknown (0) pool shape
+        let mut remote = sample_load_section();
+        if let Json::Object(map) = &mut remote {
+            map.insert("mode".into(), Json::from("tcp"));
+            map.insert("workers".into(), Json::from(0u64));
+            map.insert("queue_capacity".into(), Json::from(0u64));
+        }
+        validate_solverd_load(&remote).expect("tcp mode allows unknown pool shape");
     }
 
     /// Stale versions of a known family are rejected with an error naming the
@@ -334,6 +465,7 @@ mod tests {
             ("coop_vs_independent/v3", COOP_VS_INDEPENDENT_SCHEMA),
             ("probe_throughput/v2", PROBE_THROUGHPUT_SCHEMA),
             ("scaling_curve/v0", SCALING_CURVE_SCHEMA),
+            ("solverd_load/v0", SOLVERD_LOAD_SCHEMA),
         ] {
             let doc = Json::object(vec![("schema", Json::from(stale))]);
             let err = validate_bench_doc(&doc).expect_err(stale);
@@ -408,6 +540,17 @@ mod tests {
             counts.len() >= 3,
             "scaling curve must cover at least three thread counts, got {}",
             counts.len()
+        );
+        let load = doc
+            .get("solverd_load")
+            .expect("BENCH_dev.json carries a solverd_load section");
+        assert_eq!(
+            load.get("schema").and_then(Json::as_str),
+            Some(SOLVERD_LOAD_SCHEMA)
+        );
+        assert!(
+            load.get("solved").and_then(Json::as_u64).unwrap_or(0) > 0,
+            "the committed load run must have solved something"
         );
     }
 }

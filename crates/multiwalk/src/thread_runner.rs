@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use std::sync::Mutex;
 
-use adaptive_search::termination::FlagStop;
+use adaptive_search::termination::{AnyStop, DeadlineStop, FlagStop};
 use adaptive_search::{SolveResult, SolveStatus};
 
 use crate::walker::WalkSpec;
@@ -83,6 +83,20 @@ impl ThreadRunner {
     /// Run the job: all walks start from rank-specific chaotic seeds derived from
     /// `master_seed`, and the first walk to reach cost zero raises the shared flag.
     pub fn run(&self, master_seed: u64) -> MultiWalkResult {
+        self.run_with_deadline(master_seed, None)
+    }
+
+    /// [`ThreadRunner::run`] with an optional wall-clock bound: every walk polls
+    /// both the shared first-solution flag *and* the deadline at its usual check
+    /// interval, so a request-scoped fan-out (the `solverd` service) can enforce
+    /// per-request deadlines without a watchdog thread.  A job whose deadline
+    /// fires before any walk solves returns unsolved with every walk reporting
+    /// `ExternallyStopped` (or `IterationLimit` if its budget ran out first).
+    pub fn run_with_deadline(
+        &self,
+        master_seed: u64,
+        deadline: Option<Instant>,
+    ) -> MultiWalkResult {
         let start = Instant::now();
         let found = Arc::new(AtomicBool::new(false));
         let winner: WinnerCell = Arc::new(Mutex::new(None));
@@ -97,8 +111,18 @@ impl ThreadRunner {
                     let winner = winner.clone();
                     scope.spawn(move || {
                         let mut engine = spec.build_engine(master_seed, rank);
-                        let mut stop = FlagStop::new(found.clone());
-                        let result = engine.solve_until(&mut stop);
+                        let flag = Box::new(FlagStop::new(found.clone()));
+                        let result = match deadline {
+                            Some(at) => {
+                                let mut stop =
+                                    AnyStop::new(vec![flag, Box::new(DeadlineStop::at(at))]);
+                                engine.solve_until(&mut stop)
+                            }
+                            None => {
+                                let mut stop = *flag;
+                                engine.solve_until(&mut stop)
+                            }
+                        };
                         if result.status == SolveStatus::Solved {
                             // First writer wins; later solvers keep their result but
                             // do not overwrite the winner record.
@@ -333,6 +357,37 @@ mod tests {
             .walk_results
             .iter()
             .all(|r| r.status != SolveStatus::ExternallyStopped));
+    }
+
+    #[test]
+    fn deadline_bounds_a_fanout_that_would_otherwise_run_long() {
+        // Order-24 CAP with an unbounded budget would run for minutes; the
+        // deadline must cut every walk off near the bound.
+        let start = Instant::now();
+        let runner = ThreadRunner::new(WalkSpec::costas(24), 2);
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let result = runner.run_with_deadline(1, Some(deadline));
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "deadline ignored"
+        );
+        assert!(!result.solved());
+        assert!(result
+            .walk_results
+            .iter()
+            .all(|r| r.status == SolveStatus::ExternallyStopped));
+    }
+
+    #[test]
+    fn no_deadline_matches_plain_run_semantics() {
+        let spec = WalkSpec::costas(18).with_config(AsConfig::builder().max_iterations(20).build());
+        let runner = ThreadRunner::new(spec, 2);
+        let result = runner.run_with_deadline(1, None);
+        assert!(!result.solved());
+        assert!(result
+            .walk_results
+            .iter()
+            .all(|r| r.status == SolveStatus::IterationLimit));
     }
 
     #[test]

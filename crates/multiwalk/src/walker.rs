@@ -1,7 +1,9 @@
 //! Walk specification: what every independent walk of a multi-walk job runs.
 
 use adaptive_search::problems::{self, DynProblem};
-use adaptive_search::{AsConfig, CostasModelConfig, CostasProblem, Engine};
+use adaptive_search::{
+    AsConfig, CostasModelConfig, CostasProblem, Engine, RequestError, SolveRequest,
+};
 use xrand::ChaoticSeeder;
 
 /// The instance and configuration shared by every walk of a multi-walk job.
@@ -44,17 +46,32 @@ impl WalkSpec {
     /// A spec for any registered workload, with the model's default engine
     /// configuration from the registry.
     ///
-    /// # Panics
-    /// Panics if `key` is not a registered problem.
-    pub fn for_problem(key: &str, n: usize) -> Self {
-        let info = problems::find(key)
-            .unwrap_or_else(|| panic!("unknown problem key {key:?}; see problems::registry()"));
-        Self {
+    /// An unknown key is a typed [`RequestError`], not a panic, so callers that
+    /// take keys from untrusted input (the `solverd` service, env knobs) can
+    /// turn it into a structured reject.
+    pub fn for_problem(key: &str, n: usize) -> Result<Self, RequestError> {
+        let info = problems::find(key).ok_or_else(|| RequestError::UnknownProblem {
+            key: key.to_string(),
+        })?;
+        Ok(Self {
             problem: info.key,
             n,
             model: CostasModelConfig::optimized(),
             config: (info.default_config)(n),
-        }
+        })
+    }
+
+    /// A spec for one walk of a fan-out over a [`SolveRequest`]: the request's
+    /// problem/instance with its budget as the per-walk iteration limit.
+    ///
+    /// Warm starts are not applied here — each walk starts from its own seeded
+    /// random configuration (the request's `seed` becomes the fan-out master
+    /// seed via [`WalkSpec::build_engine`]); a caller that wants the warm start
+    /// raced too injects it into one rank's engine explicitly.
+    pub fn from_request(request: &SolveRequest) -> Result<Self, RequestError> {
+        let mut spec = Self::for_problem(&request.problem, request.n)?;
+        spec.config.max_iterations = request.budget;
+        Ok(spec)
     }
 
     /// Override the cost model (meaningful for the `"costas"` key only).
@@ -128,7 +145,7 @@ mod tests {
     fn spec_dispatches_any_registered_problem_by_key() {
         for info in adaptive_search::problems::registry() {
             let n = info.test_sizes[info.test_sizes.len() - 1];
-            let spec = WalkSpec::for_problem(info.key, n);
+            let spec = WalkSpec::for_problem(info.key, n).expect("registered key");
             assert_eq!(spec.problem, info.key);
             let engine = spec.build_engine(3, 0);
             assert_eq!(engine.problem().name(), info.key);
@@ -138,9 +155,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown problem key")]
-    fn unknown_keys_are_rejected() {
-        let _ = WalkSpec::for_problem("no-such-model", 5);
+    fn unknown_keys_are_typed_errors() {
+        let err = WalkSpec::for_problem("no-such-model", 5).expect_err("unknown key");
+        assert_eq!(
+            err,
+            RequestError::UnknownProblem {
+                key: "no-such-model".into()
+            }
+        );
+        let request = SolveRequest::new("also-missing", 5, 1);
+        assert!(WalkSpec::from_request(&request).is_err());
+    }
+
+    #[test]
+    fn from_request_carries_budget_into_the_walk_config() {
+        let request = SolveRequest::new("costas", 12, 7).with_budget(12_345);
+        let spec = WalkSpec::from_request(&request).expect("registered key");
+        assert_eq!(spec.problem, "costas");
+        assert_eq!(spec.n, 12);
+        assert_eq!(spec.config.max_iterations, 12_345);
+        // everything else is the registry default
+        let default = (adaptive_search::problems::find("costas")
+            .unwrap()
+            .default_config)(12);
+        assert_eq!(spec.config.tabu_tenure, default.tabu_tenure);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Pumping one byte stream through a [`Service`].
+//!
+//! Each connection gets two threads: the caller's (reading request lines and
+//! submitting them) and a writer (draining the response channel).  Decoupling
+//! them is what makes backpressure honest — a slow solve never blocks the
+//! reader, so a burst that overruns the admission queue is *rejected* (the
+//! client finds out immediately) instead of silently buffered in the pipe.
+//!
+//! The response channel closes when every sender is gone: the reader's handle
+//! drops at EOF, and each admitted job's clone drops when its response is
+//! sent.  The writer therefore drains exactly the responses owed to this
+//! connection and then returns — no sentinel messages, no polling.
+
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+use crate::service::Service;
+
+/// Serve one connection to completion: read request lines from `reader` until
+/// EOF, write one response line per request to `writer` in completion order.
+/// Returns the number of request lines processed.
+pub fn serve_connection<R, W>(service: &Service, reader: R, writer: W) -> usize
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let (tx, rx) = mpsc::channel::<String>();
+    let mut submitted = 0usize;
+    std::thread::scope(|scope| {
+        let writer_handle = scope.spawn(move || {
+            let mut writer = writer;
+            for line in rx {
+                if writeln!(writer, "{line}").is_err() {
+                    // Client hung up: stop writing, keep draining so job
+                    // threads never block on a full channel (mpsc is
+                    // unbounded, but exiting early would be a silent drop of
+                    // accounting for the lines below).
+                    break;
+                }
+                let _ = writer.flush();
+            }
+        });
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            service.submit(&line, &tx);
+            submitted += 1;
+        }
+        // EOF: no more requests from this connection.  Outstanding jobs still
+        // hold channel clones, so the writer keeps running until the last
+        // response for this connection is out.
+        drop(tx);
+        let _ = writer_handle.join();
+    });
+    submitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use runtime_stats::json::Json;
+
+    #[test]
+    fn pumps_a_batch_and_answers_every_line() {
+        let service = Service::start(ServiceConfig::default());
+        let input = concat!(
+            r#"{"id":"a","problem":"costas","n":10,"seed":1}"#,
+            "\n\n", // blank lines are ignored
+            r#"{"id":"b","problem":"zzz","n":5}"#,
+            "\n",
+            "garbage\n",
+        );
+        let mut output = Vec::new();
+        let n = serve_connection(&service, input.as_bytes(), &mut output);
+        assert_eq!(n, 3);
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut statuses: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                Json::parse(l)
+                    .expect("valid JSON")
+                    .get("status")
+                    .and_then(|v| v.as_str())
+                    .expect("status present")
+                    .to_string()
+            })
+            .collect();
+        statuses.sort();
+        assert_eq!(statuses, ["error", "ok", "rejected"]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # solverd — a long-running solver service over the unified SolveRequest API
+//!
+//! The paper's parallel Adaptive Search is a first-solution-wins race; the
+//! rest of this workspace can run that race as one-shot bench binaries.  This
+//! crate turns it into a *service*: a fixed worker pool behind a bounded
+//! admission queue, accepting solve requests over a dependency-free
+//! line-delimited JSON protocol on stdin/stdout or a localhost TCP listener
+//! (`std::net` only — no async runtime, no HTTP library).
+//!
+//! * [`proto`] — the wire protocol: request decoding (via
+//!   `runtime_stats::json::Json::parse`), response rendering, structured
+//!   reject classes (`queue-full`, `unknown-problem`, `invalid-request`,
+//!   `parse`).
+//! * [`service`] — admission control, backpressure, deadline enforcement and
+//!   the single-engine vs multi-walk fan-out policy.  All solve execution goes
+//!   through [`adaptive_search::SolveRequest`], the same audited API the
+//!   baselines use, so a served response and a direct library call are the
+//!   same computation.
+//! * [`connection`] — pumping one byte stream (stdin or a TCP socket) through
+//!   a service: reader thread submits, writer thread emits responses in
+//!   completion order.
+//!
+//! The `solverd` binary wires these together; `bench`'s `load_gen` binary
+//! drives a service at a configurable request rate and records throughput and
+//! latency percentiles into the `solverd_load/v1` artifact.
+
+pub mod connection;
+pub mod proto;
+pub mod service;
+
+pub use connection::serve_connection;
+pub use proto::{parse_request, Reject, RejectReason, WireRequest, DEFAULT_BUDGET, MAX_WALKS};
+pub use service::{Service, ServiceConfig};

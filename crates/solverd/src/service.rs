@@ -1,0 +1,457 @@
+//! The solver service: a fixed worker pool behind a bounded admission queue.
+//!
+//! Lifecycle of a request line:
+//!
+//! 1. **Decode + validate at admission** ([`Service::submit`]): parse failures,
+//!    unknown problem keys and invalid warm starts are answered immediately
+//!    with structured rejects — a worker never sees a request that could make
+//!    the engine panic.
+//! 2. **Admission control**: the queue is bounded; a request arriving at a
+//!    full queue is rejected with `"queue-full"` (backpressure: the client
+//!    retries, the service never buffers unboundedly and never blocks the
+//!    reader thread on solver progress).
+//! 3. **Execution** on one of `workers` pool threads.  The fan-out policy
+//!    (below) decides between a single engine and a multi-walk race; the
+//!    request's deadline is anchored at *admission*, so time spent queued
+//!    counts against it — a deadline that expires in the queue is answered
+//!    `"deadline"` without burning a single iteration.
+//! 4. **Response** — one line, sent to the connection's reply channel in
+//!    completion order.
+//!
+//! ## Fan-out policy
+//!
+//! An explicit `"walks"` field always wins.  Otherwise a request fans out to
+//! [`ServiceConfig::fanout_walks`] racing walks exactly when the instance is
+//! at or beyond the registry's bench size for that model (the size class the
+//! paper's multi-walk race targets); smaller instances run single-engine.  A
+//! request with a warm start always runs single-engine: the warm start is a
+//! handover to one engine, and racing fresh random walks against it would
+//! silently discard the caller's candidate on every rank but one.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use adaptive_search::problems;
+use adaptive_search::request::{SolveOutcome, SolveRequest, Termination};
+use multiwalk::{ThreadRunner, WalkSpec};
+
+use crate::proto::{self, OkMeta, Reject, RejectReason, WireRequest};
+
+/// Static configuration of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pool threads executing requests.
+    pub workers: usize,
+    /// Admission-queue capacity; requests beyond it are rejected, not buffered.
+    pub queue_capacity: usize,
+    /// Fan-out width for large instances (see the module docs).
+    pub fanout_walks: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            fanout_walks: 4,
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    wire: WireRequest,
+    admitted: Instant,
+    /// Deadline anchored at admission (queue time counts against it).
+    deadline: Option<Instant>,
+    reply: Sender<String>,
+}
+
+/// Queue shared between submitters and the worker pool.
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when a job is pushed or shutdown begins.
+    available: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+/// A running solver service.  Dropping it drains the queue (every admitted
+/// request is answered) and joins the worker pool.
+pub struct Service {
+    config: ServiceConfig,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start the worker pool.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `queue_capacity == 0`.
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "at least one worker is required");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let fanout_walks = config.fanout_walks;
+                std::thread::spawn(move || worker_loop(&shared, fanout_walks))
+            })
+            .collect();
+        Self {
+            config,
+            shared,
+            workers,
+        }
+    }
+
+    /// The configuration this service runs under.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Current admission-queue depth (racy; for observability only).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Submit one request line.  Every line produces exactly one response line
+    /// on `reply` — either immediately (parse error, validation reject,
+    /// queue-full backpressure) or once a worker completes the solve.
+    ///
+    /// Returns `true` when the request was admitted to the queue.
+    pub fn submit(&self, line: &str, reply: &Sender<String>) -> bool {
+        let wire = match proto::parse_request(line) {
+            Ok(wire) => wire,
+            Err(reject) => {
+                let _ = reply.send(reject.render());
+                return false;
+            }
+        };
+        // Validate *before* taking a queue slot: a worker must never receive a
+        // request that the engine would panic on, and an invalid request must
+        // not consume capacity.
+        if let Err(err) = wire.request.validate() {
+            let _ = reply.send(Reject::from((wire.id, err)).render());
+            return false;
+        }
+        let admitted = Instant::now();
+        let deadline = wire.request.deadline.and_then(|d| admitted.checked_add(d));
+        let job = Job {
+            wire,
+            admitted,
+            deadline,
+            reply: reply.clone(),
+        };
+        let mut state = self.shared.state.lock().expect("queue poisoned");
+        if state.jobs.len() >= self.config.queue_capacity {
+            let reject = Reject {
+                id: job.wire.id,
+                reason: RejectReason::QueueFull,
+                detail: format!(
+                    "admission queue at capacity ({}); retry later",
+                    self.config.queue_capacity
+                ),
+            };
+            drop(state);
+            let _ = reply.send(reject.render());
+            return false;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.available.notify_one();
+        true
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue poisoned");
+            state.shutting_down = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker thread: pop admitted jobs until shutdown *and* the queue is drained
+/// (shutdown is graceful — every admitted request gets its answer).
+fn worker_loop(shared: &Shared, fanout_walks: usize) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.available.wait(state).expect("queue poisoned");
+            }
+        };
+        let line = execute(job.wire, job.admitted, job.deadline, fanout_walks);
+        // A send failure means the client hung up; the work is simply dropped.
+        let _ = job.reply.send(line);
+    }
+}
+
+/// Execute one admitted request and render its response line.
+fn execute(
+    wire: WireRequest,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    fanout_walks: usize,
+) -> String {
+    let queue = admitted.elapsed();
+    let meta = |walks, winner| OkMeta {
+        id: wire.id.clone(),
+        queue,
+        walks,
+        winner,
+    };
+
+    // Deadline spent entirely in the queue: answer honestly without work.
+    let remaining = match deadline {
+        Some(at) => match at.checked_duration_since(Instant::now()) {
+            Some(left) if !left.is_zero() => Some(Some(left)),
+            _ => None,
+        },
+        None => Some(None),
+    };
+    let Some(remaining) = remaining else {
+        let outcome = expired_outcome(&wire.request);
+        return proto::render_ok(&meta(0, None), &outcome);
+    };
+
+    let walks = effective_walks(&wire.request, wire.walks, fanout_walks);
+    if walks <= 1 {
+        let request = SolveRequest {
+            deadline: remaining,
+            ..wire.request.clone()
+        };
+        match request.run() {
+            Ok(outcome) => proto::render_ok(&meta(1, None), &outcome),
+            // Admission validated the request, so this is unreachable in
+            // practice — but a service answers, it never panics.
+            Err(err) => Reject::from((wire.id, err)).render(),
+        }
+    } else {
+        match run_fanout(&wire.request, walks, deadline) {
+            Ok((outcome, winner)) => proto::render_ok(&meta(walks, winner), &outcome),
+            Err(err) => Reject::from((wire.id, err)).render(),
+        }
+    }
+}
+
+/// Fan-out width for a request (see the module docs for the policy).
+fn effective_walks(request: &SolveRequest, explicit: Option<usize>, fanout_walks: usize) -> usize {
+    if request.warm_start.is_some() {
+        return 1;
+    }
+    if let Some(walks) = explicit {
+        return walks.clamp(1, proto::MAX_WALKS);
+    }
+    match problems::find(&request.problem) {
+        Some(info) if request.n >= info.bench_size => fanout_walks.max(1),
+        _ => 1,
+    }
+}
+
+/// The answer for a request whose deadline expired before any work ran.
+fn expired_outcome(request: &SolveRequest) -> SolveOutcome {
+    let problem = problems::find(&request.problem).map_or("unknown", |info| info.key);
+    SolveOutcome {
+        problem,
+        n: request.n,
+        termination: Termination::DeadlineExpired,
+        solution: None,
+        final_cost: u64::MAX,
+        best_cost: u64::MAX,
+        stats: Default::default(),
+        elapsed: Duration::ZERO,
+    }
+}
+
+/// Multi-walk race over the request, folded back into one [`SolveOutcome`]
+/// (stats merged across walks; the winner's solution, verified against the
+/// registry's independent optimum predicate).
+fn run_fanout(
+    request: &SolveRequest,
+    walks: usize,
+    deadline: Option<Instant>,
+) -> Result<(SolveOutcome, Option<usize>), adaptive_search::RequestError> {
+    let spec = WalkSpec::from_request(request)?;
+    let info = problems::find(&request.problem).expect("from_request resolved the key");
+    let runner = ThreadRunner::new(spec, walks);
+    let result = runner.run_with_deadline(request.seed, deadline);
+
+    let mut stats = adaptive_search::SearchStats::default();
+    for walk in &result.walk_results {
+        stats.merge(&walk.stats);
+    }
+    let solution = result
+        .solution
+        .filter(|candidate| (info.is_optimum)(candidate));
+    let termination = if solution.is_some() {
+        Termination::Solved
+    } else if deadline.is_some_and(|at| Instant::now() >= at) {
+        Termination::DeadlineExpired
+    } else {
+        Termination::BudgetExhausted
+    };
+    let best_cost = result
+        .walk_results
+        .iter()
+        .map(|walk| walk.best_cost)
+        .min()
+        .unwrap_or(u64::MAX);
+    let final_cost = if solution.is_some() { 0 } else { best_cost };
+    let winner = result.winner.filter(|_| solution.is_some());
+    Ok((
+        SolveOutcome {
+            problem: info.key,
+            n: request.n,
+            termination,
+            solution,
+            final_cost,
+            best_cost,
+            stats,
+            elapsed: result.elapsed,
+        },
+        winner,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn drain_one(rx: &mpsc::Receiver<String>) -> runtime_stats::json::Json {
+        let line = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("response arrives");
+        runtime_stats::json::Json::parse(&line).expect("response is valid JSON")
+    }
+
+    #[test]
+    fn solves_a_small_request_end_to_end() {
+        let service = Service::start(ServiceConfig::default());
+        let (tx, rx) = mpsc::channel();
+        assert!(service.submit(r#"{"id":"a","problem":"costas","n":10,"seed":42}"#, &tx));
+        let doc = drain_one(&rx);
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert_eq!(
+            doc.get("termination").and_then(|v| v.as_str()),
+            Some("solved")
+        );
+        assert_eq!(doc.get("id").and_then(|v| v.as_str()), Some("a"));
+    }
+
+    #[test]
+    fn invalid_and_unknown_requests_never_reach_the_pool() {
+        let service = Service::start(ServiceConfig::default());
+        let (tx, rx) = mpsc::channel();
+        assert!(!service.submit(r#"{"id":"u","problem":"zzz","n":5}"#, &tx));
+        let doc = drain_one(&rx);
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("rejected"));
+        assert_eq!(
+            doc.get("reason").and_then(|v| v.as_str()),
+            Some("unknown-problem")
+        );
+        assert!(!service.submit(
+            r#"{"id":"w","problem":"costas","n":5,"warm_start":[1,1,2,3,4]}"#,
+            &tx
+        ));
+        let doc = drain_one(&rx);
+        assert_eq!(
+            doc.get("reason").and_then(|v| v.as_str()),
+            Some("invalid-request")
+        );
+        assert_eq!(service.queue_depth(), 0);
+    }
+
+    #[test]
+    fn warm_start_requests_run_single_engine_even_at_bench_size() {
+        let request = SolveRequest::new("costas", 18, 1).with_warm_start((1..=18).collect());
+        assert_eq!(effective_walks(&request, Some(8), 4), 1);
+        let cold = SolveRequest::new("costas", 18, 1);
+        assert_eq!(effective_walks(&cold, None, 4), 4);
+        let small = SolveRequest::new("costas", 10, 1);
+        assert_eq!(effective_walks(&small, None, 4), 1);
+        assert_eq!(effective_walks(&small, Some(3), 4), 3);
+    }
+
+    #[test]
+    fn fanout_race_solves_and_reports_walks() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            fanout_walks: 2,
+        });
+        let (tx, rx) = mpsc::channel();
+        // n = 18 is the costas bench size → automatic fan-out.
+        assert!(service.submit(r#"{"id":"f","problem":"costas","n":18,"seed":7}"#, &tx));
+        let doc = drain_one(&rx);
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert_eq!(doc.get("walks").and_then(|v| v.as_u64()), Some(2));
+        if doc.get("termination").and_then(|v| v.as_str()) == Some("solved") {
+            assert!(doc.get("winner").and_then(|v| v.as_u64()).is_some());
+            let sol: Vec<usize> = doc
+                .get("solution")
+                .and_then(|v| v.as_array())
+                .expect("solution present")
+                .iter()
+                .map(|v| v.as_u64().unwrap() as usize)
+                .collect();
+            let info = problems::find("costas").unwrap();
+            assert!((info.is_optimum)(&sol));
+        }
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_is_answered_without_work() {
+        let outcome = expired_outcome(&SolveRequest::new("costas", 12, 0));
+        assert_eq!(outcome.termination, Termination::DeadlineExpired);
+        assert_eq!(outcome.stats.iterations, 0);
+        assert_eq!(outcome.problem, "costas");
+    }
+
+    #[test]
+    fn drop_drains_admitted_requests() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            fanout_walks: 1,
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..3 {
+            assert!(service.submit(
+                &format!(r#"{{"id":"d{i}","problem":"n-queens","n":16,"seed":{i}}}"#),
+                &tx
+            ));
+        }
+        drop(service); // graceful: joins workers only after the queue drains
+        drop(tx);
+        let answered: Vec<_> = rx.iter().collect();
+        assert_eq!(answered.len(), 3);
+    }
+}

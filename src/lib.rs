@@ -15,6 +15,7 @@
 //! | [`mpi_sim`] | `mpi-sim` | MPI-shaped in-process message passing (ranks, iprobe, collectives) |
 //! | [`runtime_stats`] | `runtime-stats` | Time-to-target plots, shifted-exponential fits, speed-up models, table rendering |
 //! | [`baselines`] | `baselines` | Dialectic Search, quadratic tabu search, random-restart hill climbing, complete backtracking |
+//! | [`solverd`] | `solverd` | Long-running solver service: solve requests over line-delimited JSON (stdin/stdout or localhost TCP), bounded admission queue, deadline enforcement |
 //! | [`xrand`] | `xrand` | Deterministic PRNGs and the chaotic-map seed generator (§III-B3) |
 //!
 //! ## Quickstart
@@ -45,14 +46,15 @@ pub use costas;
 pub use mpi_sim;
 pub use multiwalk;
 pub use runtime_stats;
+pub use solverd;
 pub use xrand;
 
 /// The most common imports, for examples and quick experiments.
 pub mod prelude {
     pub use adaptive_search::{
         problems, solve_costas, AsConfig, CostasModelConfig, CostasProblem, DynProblem, Engine,
-        PermutationProblem, ProblemInfo, SearchStats, SequentialDriver, SolveResult, SolveStatus,
-        TieBreak,
+        PermutationProblem, ProblemInfo, SearchStats, SequentialDriver, SolveOutcome, SolveRequest,
+        SolveResult, SolveStatus, Termination, TieBreak,
     };
     pub use costas::{
         golomb_construction, is_costas_permutation, welch_construction, CostasArray,
