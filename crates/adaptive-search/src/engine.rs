@@ -529,7 +529,7 @@ impl<P: PermutationProblem> Engine<P> {
                     status = SolveStatus::IterationLimit;
                     break;
                 }
-                if done % self.config.stop_check_interval == 0 {
+                if done.is_multiple_of(self.config.stop_check_interval) {
                     self.stats.stop_checks += 1;
                     if stop.should_stop().is_some() {
                         status = SolveStatus::ExternallyStopped;

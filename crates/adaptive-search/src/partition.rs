@@ -49,7 +49,7 @@ impl PartitionProblem {
     /// Panics if `n` is zero or odd (the two groups must have equal cardinality).
     pub fn new(n: usize) -> Self {
         assert!(
-            n > 0 && n % 2 == 0,
+            n > 0 && n.is_multiple_of(2),
             "partition order must be positive and even"
         );
         let mut p = Self {

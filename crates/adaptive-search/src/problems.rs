@@ -67,6 +67,11 @@ pub struct ProblemInfo {
     /// Standard instance parameter for the steps/sec throughput benches (sized so
     /// a walk keeps probing rather than solving instantly).
     pub bench_size: usize,
+    /// Extra large instance parameters for the dedicated large-n throughput
+    /// cells (empty for models whose kernels have no size boundary to probe).
+    /// For Costas these sit past the single-word mask boundary (n > 32), where
+    /// the bench measures the multi-word kernel against the generic path.
+    pub bench_large_sizes: &'static [usize],
     /// Small valid instance parameters for conformance property tests.
     pub test_sizes: &'static [usize],
     /// Small instance parameters with known optima, solvable by the default
@@ -118,7 +123,8 @@ static REGISTRY: [ProblemInfo; 6] = [
         default_config: AsConfig::costas_defaults,
         is_optimum: is_costas_permutation,
         bench_size: 18,
-        test_sizes: &[2, 3, 5, 8, 12, 16],
+        bench_large_sizes: &[34, 40],
+        test_sizes: &[2, 3, 5, 8, 12, 16, 33, 40],
         solvable_sizes: &[8, 10, 12],
     },
     ProblemInfo {
@@ -129,6 +135,7 @@ static REGISTRY: [ProblemInfo; 6] = [
         default_config: generic_config,
         is_optimum: |values| zero_cost(QueensProblem::new(values.len().max(1)), values),
         bench_size: 100,
+        bench_large_sizes: &[],
         test_sizes: &[2, 4, 7, 11, 16, 24],
         solvable_sizes: &[8, 16, 30],
     },
@@ -140,6 +147,7 @@ static REGISTRY: [ProblemInfo; 6] = [
         default_config: generic_config,
         is_optimum: |values| zero_cost(AllIntervalProblem::new(values.len().max(1)), values),
         bench_size: 50,
+        bench_large_sizes: &[],
         test_sizes: &[2, 3, 6, 10, 16, 24],
         solvable_sizes: &[8, 10, 12],
     },
@@ -163,6 +171,7 @@ static REGISTRY: [ProblemInfo; 6] = [
                 && zero_cost(MagicSquareProblem::new(side), values)
         },
         bench_size: 10,
+        bench_large_sizes: &[],
         test_sizes: &[2, 3, 4, 5],
         solvable_sizes: &[3, 4, 5],
     },
@@ -178,6 +187,7 @@ static REGISTRY: [ProblemInfo; 6] = [
                 && zero_cost(LangfordProblem::new(values.len() / 2), values)
         },
         bench_size: 32,
+        bench_large_sizes: &[],
         test_sizes: &[1, 2, 3, 5, 8, 12],
         solvable_sizes: &[3, 4, 7, 8],
     },
@@ -193,6 +203,7 @@ static REGISTRY: [ProblemInfo; 6] = [
                 && zero_cost(PartitionProblem::new(values.len()), values)
         },
         bench_size: 64,
+        bench_large_sizes: &[],
         test_sizes: &[2, 4, 6, 10, 16, 24],
         solvable_sizes: &[8, 12, 16],
     },

@@ -16,9 +16,10 @@
 //! * **(b′) kernel equivalence** — `probe_partners` agrees **bit-for-bit** with
 //!   the scalar `probe_partners_reference`, pinning any accelerated (SWAR)
 //!   kernel to its reference implementation on every visited neighbourhood
-//!   (models reporting `has_accelerated_probe` — currently Costas at n ≤ 32 —
-//!   get this as a real two-algorithm check; for everyone else it degenerates
-//!   to a tautology and costs one extra scalar probe);
+//!   (models reporting `has_accelerated_probe` — currently Costas at every
+//!   order, single-word masks up to n = 32 and the width-generic multi-word
+//!   kernel beyond — get this as a real two-algorithm check; for everyone else
+//!   it degenerates to a tautology and costs one extra scalar probe);
 //! * **(c) error maintenance** — after every `apply_swap` /
 //!   `set_configuration` (the engine's swap, reset and injection paths all reduce
 //!   to those), the incremental cost, the recomputing `variable_errors` and the
@@ -429,20 +430,78 @@ fn conformance_driver_catches_a_diverging_kernel() {
     assert_problem_conformance(|| BrokenKernel((1..=6).collect()), 1, &[Op::Swap(2, 5)]);
 }
 
-/// The Costas model advertises its SWAR kernel exactly on the orders the masks
-/// cover (n ≤ 32), and on both sides of the boundary the probe agrees
-/// bit-for-bit with the scalar reference over random configurations and
-/// culprits — the same property (b′) enforces along conformance sequences, here
-/// pinned directly at the dispatch edge.
+/// The multi-word sentinel: a *real* registered Costas model at n = 40 — two
+/// occupancy words per row, so the width-generic `W = 2` kernel is the live
+/// probe path — wrapped so its accelerated probe mangles exactly one candidate,
+/// simulating a second-word bug (a carry dropped at the 64-bit boundary).  The
+/// scalar reference stays the genuine article, so the bit-for-bit equivalence
+/// check (b′) must catch the divergence.  This proves the kit's sensitivity
+/// extends to the multi-word widths, not just the toy model above.
 #[test]
-fn costas_advertises_its_kernel_exactly_within_the_mask_boundary() {
+#[should_panic(expected = "probe_partners_reference")]
+fn conformance_driver_catches_a_diverging_multi_word_kernel() {
+    /// Delegates everything to a real Costas n = 40 instance except the
+    /// accelerated probe, which corrupts one high-index candidate.
+    struct SecondWordBug(DynProblem);
+    impl PermutationProblem for SecondWordBug {
+        fn size(&self) -> usize {
+            self.0.size()
+        }
+        fn set_configuration(&mut self, values: &[usize]) {
+            self.0.set_configuration(values);
+        }
+        fn configuration(&self) -> &[usize] {
+            self.0.configuration()
+        }
+        fn global_cost(&self) -> u64 {
+            self.0.global_cost()
+        }
+        fn variable_errors(&self, out: &mut Vec<u64>) {
+            self.0.variable_errors(out);
+        }
+        fn cached_errors(&self) -> Option<&[u64]> {
+            self.0.cached_errors()
+        }
+        fn delta_for_swap(&self, i: usize, j: usize) -> i64 {
+            self.0.delta_for_swap(i, j)
+        }
+        fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
+            self.0.probe_partners(culprit, out);
+            // A candidate whose difference buckets straddle the word boundary:
+            // pretend the kernel lost an occupancy bit from the second word.
+            let victim = (culprit + 37) % self.size();
+            out[victim] += 1;
+        }
+        fn probe_partners_reference(&self, culprit: usize, out: &mut Vec<u64>) {
+            self.0.probe_partners_reference(culprit, out);
+        }
+        fn has_accelerated_probe(&self) -> bool {
+            true
+        }
+        fn apply_swap(&mut self, i: usize, j: usize) {
+            self.0.apply_swap(i, j);
+        }
+    }
     let info = adaptive_search::problems::find("costas").expect("registered");
-    for (size, expect_kernel) in [(18usize, true), (31, true), (32, true), (40, false)] {
+    assert_problem_conformance(|| SecondWordBug((info.build)(40)), 7, &[Op::Swap(3, 38)]);
+}
+
+/// The Costas model now advertises an accelerated probe at *every* order: the
+/// single-word layout up to n = 32 and the width-generic multi-word kernel
+/// beyond (two words through n = 64, the slice-based variant past that).  On
+/// both sides of each word boundary the probe agrees bit-for-bit with the
+/// scalar reference over random configurations and culprits — the same
+/// property (b′) enforces along conformance sequences, here pinned directly at
+/// the dispatch edge.
+#[test]
+fn costas_advertises_its_kernel_across_every_word_width() {
+    let info = adaptive_search::problems::find("costas").expect("registered");
+    // One word (n ≤ 32), two words (33 ≤ n ≤ 64), and the slice path (n ≥ 65).
+    for size in [18usize, 31, 32, 33, 40, 64, 65] {
         let mut problem = (info.build)(size);
-        assert_eq!(
+        assert!(
             problem.has_accelerated_probe(),
-            expect_kernel,
-            "costas n={size}"
+            "costas n={size} must advertise its probe kernel"
         );
         let mut probe = Vec::new();
         let mut reference = Vec::new();
@@ -454,6 +513,23 @@ fn costas_advertises_its_kernel_exactly_within_the_mask_boundary() {
                 assert_eq!(probe, reference, "costas n={size}, culprit {culprit}");
             }
         }
+    }
+}
+
+/// Full conformance sequences at the multi-word Costas orders the kernel newly
+/// covers: n = 33 and 40 (two mask words per row) and n = 65 (the slice-based
+/// variant).  Deterministic, independent of PROPTEST_CASES, so the large-order
+/// widths are exercised by every tier-1 run rather than only when the property
+/// tests happen to draw them.
+#[test]
+fn costas_conforms_at_multi_word_orders() {
+    let info = adaptive_search::problems::find("costas").expect("registered");
+    let raw: Vec<(u8, usize, usize)> = (0u8..16)
+        .map(|t| (t, (13 * t as usize + 7) % 67, (17 * t as usize + 3) % 59))
+        .collect();
+    let ops = decode_ops(&raw);
+    for size in [33usize, 40, 65] {
+        assert_problem_conformance(registry_factory(info, size), 0x5EED_C057A5, &ops);
     }
 }
 

@@ -150,6 +150,53 @@ fn bench_conflict_table(c: &mut Criterion) {
             });
         });
     }
+
+    // Past the single-word mask boundary: the width-generic multi-word kernel
+    // (two words per row at n = 34/40, the slice-based variant at n = 65)
+    // against the histogram reference it is pinned to.  The SWAR experiment is
+    // deliberately absent here — it is a single-word-only path and asserts as
+    // much (see `costas::kernel`).
+    for &n in &[34usize, 40, 65] {
+        let mut rng = default_rng(7);
+        let mut perm = random_permutation(n, &mut rng);
+        perm.iter_mut().for_each(|v| *v += 1);
+        let model = CostModel::optimized();
+
+        group.bench_with_input(BenchmarkId::new("probe_partners", n), &n, |b, _| {
+            let table = ConflictTable::new(&perm, model);
+            let mut rng = default_rng(11);
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                table.probe_partners(rng.index(n), &mut out);
+                black_box(out[0])
+            });
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("probe_partners_reference", n),
+            &n,
+            |b, _| {
+                let table = ConflictTable::new(&perm, model);
+                let mut rng = default_rng(11);
+                let mut out = Vec::with_capacity(n);
+                b.iter(|| {
+                    table.probe_partners_reference(rng.index(n), &mut out);
+                    black_box(out[0])
+                });
+            },
+        );
+
+        // Mask maintenance rides the apply path at every width now; this row
+        // tracks its cost at the multi-word orders.
+        group.bench_with_input(BenchmarkId::new("apply_swap", n), &n, |b, _| {
+            let mut table = ConflictTable::new(&perm, model);
+            let mut rng = default_rng(11);
+            b.iter(|| {
+                table.apply_swap(rng.index(n), rng.index(n));
+                black_box(table.cost())
+            });
+        });
+    }
     group.finish();
 }
 

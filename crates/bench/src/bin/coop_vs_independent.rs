@@ -38,11 +38,17 @@
 //! rider (`solverd_load/v1`, see `bench::loadgen` and the `load_gen` harness)
 //! extends the same document with serving-side numbers — requests/sec
 //! sustained by the `solverd` service and submit-to-response latency
-//! percentiles under an open-loop request stream.
+//! percentiles under an open-loop request stream.  The
+//! `probe_throughput_large_n` rider (still additive within v4) carries the
+//! multi-word Costas cells — per order past the single-word mask boundary
+//! (n = 34, 40), one cell on the width-generic probe kernel and one on the
+//! same-build generic histogram baseline — so the committed artefact records
+//! the kernel speedup as a same-machine ratio; throughput entries everywhere
+//! now also carry an `accelerated` flag.
 
 use bench::protocol::{cooperative_cell, parallel_cell, CellMode, CellSummary, CoopCellSummary};
 use bench::scaling::{measure_model, scaling_section, ScalingOptions};
-use bench::throughput::standard_models;
+use bench::throughput::{large_n_models, standard_models};
 use bench::{banner, write_bench_json, write_csv, HarnessOptions};
 use multiwalk::{CoopConfig, PlatformProfile, VirtualCluster, WalkSpec};
 use runtime_stats::table::fmt_seconds;
@@ -154,6 +160,32 @@ fn main() {
     println!("Probe throughput ({throughput_steps} engine steps per model):");
     println!("\n{}", throughput_table.render());
 
+    // probe_throughput_large_n rider (additive within v4): the multi-word
+    // Costas cells, each order measured on the kernel and on the same-build
+    // generic baseline so the speedup is a same-machine ratio.
+    let large_n = large_n_models(throughput_steps, options.master_seed);
+    println!("Large-n probe throughput (multi-word kernel vs generic baseline):");
+    for pair in large_n.chunks_exact(2) {
+        println!(
+            "  {:>20} n={:<3} kernel {:>9.0} steps/s vs generic {:>9.0} steps/s = {:.2}x",
+            pair[0].model,
+            pair[0].size,
+            pair[0].steps_per_sec,
+            pair[1].steps_per_sec,
+            pair[0].steps_per_sec / pair[1].steps_per_sec.max(f64::MIN_POSITIVE),
+        );
+        if let (Some(k), Some(g)) = (pair[0].probe_ns, pair[1].probe_ns) {
+            println!(
+                "  {:>20} n={:<3} probe  {:>9.0} ns      vs generic {:>9.0} ns      = {:.2}x",
+                "",
+                pair[0].size,
+                k,
+                g,
+                g / k.max(f64::MIN_POSITIVE),
+            );
+        }
+    }
+
     // scaling_curve/v1 rider: the real-hardware strong-scaling section (OS
     // threads; Costas + N-Queens in quick mode, the whole registry in full).
     let scaling_opts = ScalingOptions::from_env(&options);
@@ -233,7 +265,12 @@ fn main() {
             "probe_throughput",
             Json::Array(throughput.iter().map(|s| s.to_json()).collect()),
         ),
+        (
+            "probe_throughput_large_n",
+            Json::Array(large_n.iter().map(|s| s.to_json()).collect()),
+        ),
     ]);
+    bench::schema::validate_coop_vs_independent(&doc).expect("emitted document validates");
     let json_path = write_bench_json("BENCH_coop_vs_independent.json", &doc);
     println!("JSON written to {}", json_path.display());
     println!(

@@ -12,15 +12,47 @@
 //! appear here automatically when registered.
 //!
 //! Output: the throughput table on stdout, a CSV under `target/experiments/`, and
-//! a machine-readable `BENCH_*.json` artefact (schema `probe_throughput/v3`: the
-//! v2 per-model fields unchanged — steps/sec stays directly comparable — with the
-//! model list now registry-driven, i.e. extended by `langford` and
-//! `number-partitioning`; path overridable with `COSTAS_BENCH_JSON`) that the
-//! CI `bench-smoke` job uploads.  `COSTAS_RUNS` overrides the step count.
+//! a machine-readable `BENCH_*.json` artefact (path overridable with
+//! `COSTAS_BENCH_JSON`) that the CI `bench-smoke` job uploads.  `COSTAS_RUNS`
+//! overrides the step count.
+//!
+//! Schema `probe_throughput/v4`: the v3 per-model fields unchanged — steps/sec
+//! stays directly comparable — with every entry now carrying the `accelerated`
+//! flag and a new `large_n` section holding the multi-word Costas cells
+//! (n = 34, 40): per order, one cell on the width-generic probe kernel and one
+//! on the same-build generic histogram baseline
+//! (`CostasModelConfig::accelerated_probe = false`), so the kernel speedup is a
+//! same-machine, same-artefact ratio.  Large-n cells additionally record
+//! `probe_ns`, the raw batched-probe latency on an equilibrium state: engine
+//! steps/sec is Amdahl-diluted by selection and apply (the end-to-end ratio
+//! tops out near 1.3×), so the probe-level pair is where the multi-word
+//! kernel's speedup is actually read.
 
-use bench::throughput::standard_models;
+use bench::throughput::{large_n_models, standard_models, ThroughputSample};
 use bench::{banner, write_bench_json, write_csv, HarnessOptions};
 use runtime_stats::{Json, TextTable};
+
+fn throughput_table(samples: &[ThroughputSample]) -> TextTable {
+    let mut table = TextTable::new(vec![
+        "model",
+        "n",
+        "kernel",
+        "steps",
+        "seconds",
+        "steps/sec",
+    ]);
+    for s in samples {
+        table.add_row(vec![
+            s.model.to_string(),
+            s.size.to_string(),
+            if s.accelerated { "fast" } else { "generic" }.to_string(),
+            s.steps.to_string(),
+            format!("{:.3}", s.seconds),
+            format!("{:.0}", s.steps_per_sec),
+        ]);
+    }
+    table
+}
 
 fn main() {
     let options = HarnessOptions::from_env();
@@ -32,29 +64,50 @@ fn main() {
     let steps = options.runs(50_000, 500_000) as u64;
     let samples = standard_models(steps, options.master_seed);
 
-    let mut table = TextTable::new(vec!["model", "n", "steps", "seconds", "steps/sec"]);
-    for s in &samples {
-        table.add_row(vec![
-            s.model.to_string(),
-            s.size.to_string(),
-            s.steps.to_string(),
-            format!("{:.3}", s.seconds),
-            format!("{:.0}", s.steps_per_sec),
-        ]);
-    }
+    let table = throughput_table(&samples);
     println!("\n{}", table.render());
     let csv_path = write_csv("probe_throughput.csv", &table.to_csv());
     println!("CSV written to {}", csv_path.display());
 
+    // The large-n cells: kernel/baseline pairs past the single-word boundary.
+    let large_n = large_n_models(steps, options.master_seed);
+    println!("Large-n Costas cells (multi-word kernel vs generic baseline):");
+    println!("\n{}", throughput_table(&large_n).render());
+    for pair in large_n.chunks_exact(2) {
+        println!(
+            "  {} n={}: kernel {:.0} steps/s vs generic {:.0} steps/s = {:.2}x",
+            pair[0].model,
+            pair[0].size,
+            pair[0].steps_per_sec,
+            pair[1].steps_per_sec,
+            pair[0].steps_per_sec / pair[1].steps_per_sec.max(f64::MIN_POSITIVE),
+        );
+        if let (Some(k), Some(g)) = (pair[0].probe_ns, pair[1].probe_ns) {
+            println!(
+                "  {} n={}: probe  {:.0} ns vs generic {:.0} ns = {:.2}x (raw probe layer)",
+                pair[0].model,
+                pair[0].size,
+                k,
+                g,
+                g / k.max(f64::MIN_POSITIVE),
+            );
+        }
+    }
+
     let doc = Json::object(vec![
-        ("schema", Json::from("probe_throughput/v3")),
+        ("schema", Json::from("probe_throughput/v4")),
         ("steps", Json::from(steps)),
         ("master_seed", Json::from(options.master_seed)),
         (
             "models",
             Json::Array(samples.iter().map(|s| s.to_json()).collect()),
         ),
+        (
+            "large_n",
+            Json::Array(large_n.iter().map(|s| s.to_json()).collect()),
+        ),
     ]);
+    bench::schema::validate_probe_throughput(&doc).expect("emitted document validates");
     let json_path = write_bench_json("BENCH_probe_throughput.json", &doc);
     println!("JSON written to {}", json_path.display());
 }

@@ -50,12 +50,12 @@ pub fn is_prime(n: usize) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -83,9 +83,9 @@ fn prime_factors(mut n: usize) -> Vec<usize> {
     let mut factors = Vec::new();
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             factors.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }
@@ -99,7 +99,7 @@ fn prime_factors(mut n: usize) -> Vec<usize> {
 
 /// Is `g` a primitive root modulo the prime `p`?
 pub fn is_primitive_root(g: usize, p: usize) -> bool {
-    if !is_prime(p) || p < 3 || g % p == 0 {
+    if !is_prime(p) || p < 3 || g.is_multiple_of(p) {
         return false;
     }
     let order = p - 1;

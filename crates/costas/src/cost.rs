@@ -290,13 +290,24 @@ pub struct ConflictTable {
     bucket_head: Vec<u32>,
     pair_next: Vec<u32>,
     row_offset: Vec<u32>,
-    /// Per-row occupancy bitmasks, maintained when the row width fits in 63 bits
-    /// (n ≤ 32, every Costas instance in practice): `occ_mask[d − 1]` has bit `b`
-    /// set iff the row's bucket `b` holds ≥ 1 pair, `multi_mask[d − 1]` iff it
-    /// holds ≥ 2.  The batched probe reads each candidate's cost delta out of
-    /// these two registers instead of six histogram loads; empty when disabled.
+    /// Words per row of the occupancy bitmasks: `⌈width / 64⌉`.  `1` for n ≤ 32
+    /// (the historical single-word layout, bit for bit), `2` for 33 ≤ n ≤ 64,
+    /// and so on without bound.
+    pub(crate) mask_words: usize,
+    /// Per-row occupancy bitmasks, cache-blocked so each row's words are
+    /// contiguous: bucket `b` of row `d` lives at word
+    /// `(d − 1) · mask_words + (b >> 6)`, bit `b & 63`.  A bit of `occ_mask` is
+    /// set iff the bucket holds ≥ 1 pair, of `multi_mask` iff ≥ 2.  The batched
+    /// probe kernel ([`crate::kernel`]) reads each candidate's cost delta out of
+    /// these words instead of six histogram loads.  Maintained at every order
+    /// (length `dmax · mask_words`); empty only when explicitly disabled via
+    /// [`ConflictTable::disable_probe_kernel`].
     pub(crate) occ_mask: Vec<u64>,
     pub(crate) multi_mask: Vec<u64>,
+    /// Reusable scratch for the arbitrary-width (`mask_words ≥ 3`) probe
+    /// kernel, behind a `RefCell` so the read-only probe contract (`&self`)
+    /// holds without per-call allocation.
+    pub(crate) kernel_scratch: std::cell::RefCell<crate::kernel::DynScratch>,
     /// `weights[d]` = `ERR(d)`, precomputed so the apply/probe paths do not
     /// re-evaluate `n² − d²` per touched pair (`weights[0]` unused).
     weights: Vec<u64>,
@@ -320,6 +331,7 @@ impl ConflictTable {
             *offset = total_pairs;
             total_pairs += (n - d) as u32;
         }
+        let mask_words = width.div_ceil(64);
         let mut table = Self {
             model,
             n,
@@ -332,26 +344,32 @@ impl ConflictTable {
             bucket_head: vec![NO_PAIR; dmax * width],
             pair_next: vec![NO_PAIR; total_pairs as usize],
             row_offset,
-            occ_mask: if width <= 63 {
-                vec![0; dmax]
-            } else {
-                Vec::new()
-            },
-            multi_mask: if width <= 63 {
-                vec![0; dmax]
-            } else {
-                Vec::new()
-            },
+            mask_words,
+            occ_mask: vec![0; dmax * mask_words],
+            multi_mask: vec![0; dmax * mask_words],
+            kernel_scratch: std::cell::RefCell::new(crate::kernel::DynScratch::default()),
             weights: (0..=dmax).map(|d| model.weight_at(n, d.max(1))).collect(),
         };
         table.rebuild();
         table
     }
 
-    /// Are the per-row occupancy bitmasks maintained (row width ≤ 63)?
+    /// Are the per-row occupancy bitmasks maintained?  True for every order
+    /// n ≥ 2 unless [`ConflictTable::disable_probe_kernel`] was called.
     #[inline]
     fn masks_enabled(&self) -> bool {
         !self.occ_mask.is_empty()
+    }
+
+    /// Drop the occupancy bitmasks and fall back to the generic histogram
+    /// probe ([`ConflictTable::probe_partners_reference`]'s body) for the rest
+    /// of this table's life — `apply_swap`/`reset_to`/`rebuild` stop paying
+    /// the mask maintenance and [`ConflictTable::has_probe_kernel`] turns
+    /// false.  This exists so benchmarks can measure the pre-kernel generic
+    /// path on the same build; solvers have no reason to call it.
+    pub fn disable_probe_kernel(&mut self) {
+        self.occ_mask = Vec::new();
+        self.multi_mask = Vec::new();
     }
 
     /// Precomputed `ERR(d)`.
@@ -373,9 +391,14 @@ impl ConflictTable {
         self.errors.iter_mut().for_each(|e| *e = 0);
         self.cost = 0;
         let masks_on = self.masks_enabled();
+        if masks_on {
+            self.occ_mask.iter_mut().for_each(|w| *w = 0);
+            self.multi_mask.iter_mut().for_each(|w| *w = 0);
+        }
         for d in 1..=self.dmax {
             let base = self.row_offset[d];
             let row = (d - 1) * self.width;
+            let mask_row = (d - 1) * self.mask_words;
             // Insert right to left so every insertion is a head insertion and the
             // lists come out sorted by left index (head = leftmost = exempt pair).
             for i in (0..(self.n - d)).rev() {
@@ -386,8 +409,6 @@ impl ConflictTable {
                 self.bucket_head[idx] = p;
             }
             let w = self.weight(d);
-            let mut occ = 0u64;
-            let mut multi = 0u64;
             for i in 0..(self.n - d) {
                 let idx = self.index(d, i);
                 // charged iff not the bucket's leftmost pair (paper scan rule)
@@ -397,14 +418,12 @@ impl ConflictTable {
                     self.errors[i + d] += w;
                 }
                 if masks_on {
-                    let bit = 1u64 << (idx - row);
-                    multi |= occ & bit;
-                    occ |= bit;
+                    let b = idx - row;
+                    let word = mask_row + (b >> 6);
+                    let bit = 1u64 << (b & 63);
+                    self.multi_mask[word] |= self.occ_mask[word] & bit;
+                    self.occ_mask[word] |= bit;
                 }
-            }
-            if masks_on {
-                self.occ_mask[d - 1] = occ;
-                self.multi_mask[d - 1] = multi;
             }
         }
     }
@@ -489,11 +508,13 @@ impl ConflictTable {
             self.cost -= w;
         }
         if self.masks_enabled() && c_after <= 1 {
-            let bit = 1u64 << (idx - (d - 1) * self.width);
+            let b = idx - (d - 1) * self.width;
+            let word = (d - 1) * self.mask_words + (b >> 6);
+            let bit = 1u64 << (b & 63);
             if c_after == 0 {
-                self.occ_mask[d - 1] &= !bit;
+                self.occ_mask[word] &= !bit;
             } else {
-                self.multi_mask[d - 1] &= !bit;
+                self.multi_mask[word] &= !bit;
             }
         }
         let p = self.row_offset[d] + i as u32;
@@ -533,11 +554,13 @@ impl ConflictTable {
         *c += 1;
         let c_after = *c;
         if self.masks_enabled() && c_after <= 2 {
-            let bit = 1u64 << (idx - (d - 1) * self.width);
+            let b = idx - (d - 1) * self.width;
+            let word = (d - 1) * self.mask_words + (b >> 6);
+            let bit = 1u64 << (b & 63);
             if c_after == 1 {
-                self.occ_mask[d - 1] |= bit;
+                self.occ_mask[word] |= bit;
             } else {
-                self.multi_mask[d - 1] |= bit;
+                self.multi_mask[word] |= bit;
             }
         }
         let base = self.row_offset[d];
@@ -686,9 +709,11 @@ impl ConflictTable {
     /// and the per-candidate pass only scores the re-added culprit differences plus
     /// the candidate's own pairs against that precomputed baseline.
     ///
-    /// When the per-row occupancy bitmasks are maintained (`n ≤ 32`), candidates
-    /// are scored by the bitmask probe kernel ([`crate::kernel`]); the plain
-    /// histogram path is retained as the reference implementation behind
+    /// Candidates are scored by the width-generic bitmask probe kernel
+    /// ([`crate::kernel`]), monomorphized per row width (one mask word per row
+    /// for n ≤ 32 — today's single-word layout bit for bit — two words for
+    /// n ≤ 64, a slice-walking variant beyond); the plain histogram path is
+    /// retained as the reference implementation behind
     /// [`ConflictTable::probe_partners_reference`], and `debug_assert!` pins the
     /// kernel to it on every call.
     pub fn probe_partners(&self, culprit: usize, out: &mut Vec<u64>) {
@@ -708,10 +733,11 @@ impl ConflictTable {
     /// Does [`ConflictTable::probe_partners`] dispatch to the bitmask probe
     /// kernel ([`crate::kernel`])?
     ///
-    /// True exactly when the per-row occupancy bitmasks are maintained (row width
-    /// `2n − 1 ≤ 63`, i.e. `n ≤ 32` — every Costas instance in practice).  When
-    /// false the probe takes the plain histogram path and *is* the reference
-    /// implementation.
+    /// True exactly when the per-row occupancy bitmasks are maintained — every
+    /// order n ≥ 2, at any width, unless
+    /// [`ConflictTable::disable_probe_kernel`] was called (n = 1 has no scored
+    /// rows, so there is nothing to accelerate).  When false the probe takes
+    /// the plain histogram path and *is* the reference implementation.
     #[inline]
     pub fn has_probe_kernel(&self) -> bool {
         self.masks_enabled()
@@ -740,13 +766,19 @@ impl ConflictTable {
     /// which is why it does not drive the dispatch.  Kept public so the
     /// `conflict_table` micro-benchmark tracks the comparison.
     ///
-    /// Panics when the occupancy bitmasks are not maintained (order > 32).
+    /// The experiment was written against the single-word mask layout and was
+    /// never widened: it panics unless the occupancy bitmasks are maintained
+    /// at one word per row (row width ≤ 63, i.e. n ≤ 32).  Wider orders are
+    /// served by the width-generic kernel behind the dispatched
+    /// [`ConflictTable::probe_partners`] (see [`crate::kernel`]).
     pub fn probe_partners_swar(&self, culprit: usize, out: &mut Vec<u64>) {
         let n = self.n;
         assert!(culprit < n, "culprit {culprit} out of range for order {n}");
         assert!(
-            self.masks_enabled(),
-            "the SWAR probe needs the occupancy bitmasks (order ≤ 32)"
+            self.masks_enabled() && self.mask_words == 1,
+            "the SWAR probe experiment needs single-word occupancy bitmasks \
+             (row width ≤ 63); wider orders dispatch to the width-generic \
+             kernel in costas::kernel"
         );
         out.clear();
         out.resize(n, self.cost);
@@ -770,9 +802,11 @@ impl ConflictTable {
 
     /// Dispatched implementation: fill `out[j]` for `j in lo..n`, `j != m` —
     /// the bitmask kernel ([`crate::kernel`]) when the occupancy masks are
-    /// maintained, the generic histogram body otherwise.  Both `debug_assert!`s
-    /// pin the dispatched path to an independent implementation on every call:
-    /// the flat-histogram reference and the per-pair `delta_for_swap` oracle.
+    /// maintained (monomorphized for the one- and two-word row widths covering
+    /// n ≤ 64, slice-walking beyond), the generic histogram body otherwise.
+    /// Both `debug_assert!`s pin the dispatched path to an independent
+    /// implementation on every call: the flat-histogram reference and the
+    /// per-pair `delta_for_swap` oracle.
     fn probe_partners_range(&self, m: usize, lo_bound: usize, out: &mut Vec<u64>) {
         let n = self.n;
         assert!(m < n, "culprit {m} out of range for order {n}");
@@ -782,7 +816,14 @@ impl ConflictTable {
             return;
         }
         if self.masks_enabled() {
-            self.probe_range_masked(m, lo_bound, out);
+            match self.mask_words {
+                // dmax ≤ n − 1, and the row capacity R only needs to cover the
+                // largest order of each width class: n ≤ 32 for one word per
+                // row (u64), n ≤ 64 for two (packed into one u128).
+                1 => self.probe_range_masked::<u64, 32>(m, lo_bound, out),
+                2 => self.probe_range_masked::<u128, 64>(m, lo_bound, out),
+                _ => self.probe_range_masked_dyn(m, lo_bound, out),
+            }
         } else {
             self.probe_range_generic(m, lo_bound, out);
         }
@@ -1255,30 +1296,36 @@ mod tests {
     }
 
     #[test]
-    fn probe_agrees_with_apply_for_large_orders_without_masks() {
-        // Orders with 2n − 1 > 63 disable the per-row occupancy bitmasks, so this
-        // is the coverage of the generic probe body (and, via the debug_assert in
-        // the probe dispatcher, of its agreement with the per-pair delta path).
+    fn probe_agrees_with_apply_for_large_orders() {
+        // Orders with 2n − 1 > 63 take the multi-word kernel; with the kernel
+        // explicitly disabled the same probes cover the generic histogram body
+        // (and, via the debug_assert in the probe dispatcher, its agreement
+        // with the per-pair delta path).  Both variants are checked against
+        // the mutating apply path here.
         let mut rng = default_rng(103);
         let mut out = Vec::new();
         for n in [33usize, 40] {
             for model in [CostModel::basic(), CostModel::optimized()] {
                 let p = one_based(random_permutation(n, &mut rng));
-                let table = ConflictTable::new(&p, model);
-                for culprit in 0..n {
-                    table.probe_partners(culprit, &mut out);
-                    for (j, &probed) in out.iter().enumerate() {
-                        let mut copy = table.clone();
-                        copy.apply_swap(culprit, j);
-                        assert_eq!(
-                            probed,
-                            copy.cost(),
-                            "n={n} model={model:?} ({culprit}, {j})"
-                        );
+                let mut generic = ConflictTable::new(&p, model);
+                generic.disable_probe_kernel();
+                assert!(!generic.has_probe_kernel());
+                for table in [ConflictTable::new(&p, model), generic] {
+                    for culprit in 0..n {
+                        table.probe_partners(culprit, &mut out);
+                        for (j, &probed) in out.iter().enumerate() {
+                            let mut copy = table.clone();
+                            copy.apply_swap(culprit, j);
+                            assert_eq!(
+                                probed,
+                                copy.cost(),
+                                "n={n} model={model:?} ({culprit}, {j})"
+                            );
+                        }
                     }
+                    assert_eq!(table.values(), &p[..], "probe must not mutate");
+                    assert!(table.errors_consistency_check());
                 }
-                assert_eq!(table.values(), &p[..], "probe must not mutate");
-                assert!(table.errors_consistency_check());
             }
         }
     }

@@ -64,7 +64,7 @@ mod tests {
                     return (me, iterations, true);
                 }
                 // everyone polls for a winner announcement every 8 iterations
-                if iterations % 8 == 0 {
+                if iterations.is_multiple_of(8) {
                     if comm.iprobe(ANY_SOURCE, WINNER_TAG) {
                         let env = comm.recv_matching(ANY_SOURCE, WINNER_TAG).unwrap();
                         assert_eq!(env.source, 2);

@@ -459,6 +459,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, when `self` is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a `u64`, when it is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
