@@ -518,6 +518,7 @@ impl<P: PermutationProblem> Engine<P> {
         } else {
             SolveStatus::IterationLimit
         };
+        let mut stop_reason = None;
         if self.problem.global_cost() != 0 {
             loop {
                 if self.step() == StepOutcome::Solved {
@@ -531,8 +532,9 @@ impl<P: PermutationProblem> Engine<P> {
                 }
                 if done.is_multiple_of(self.config.stop_check_interval) {
                     self.stats.stop_checks += 1;
-                    if stop.should_stop().is_some() {
+                    if let Some(reason) = stop.should_stop() {
                         status = SolveStatus::ExternallyStopped;
+                        stop_reason = Some(reason);
                         break;
                     }
                 }
@@ -551,6 +553,7 @@ impl<P: PermutationProblem> Engine<P> {
             best_cost: self.best_cost,
             stats: self.stats.clone(),
             elapsed: start.elapsed(),
+            stop_reason,
         }
     }
 

@@ -40,11 +40,15 @@
 //!   one typed request shape for every solve path in the workspace (baselines,
 //!   multi-walk fan-out, the `solverd` service), with typed errors instead of
 //!   panics for unknown keys and invalid warm starts.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`] /
+//!   [`FaultyProblem`]) behind a runtime registry hook, powering the chaos
+//!   tests of the fault-tolerant runners and the `solverd` supervisor.
 
 pub mod all_interval;
 pub mod config;
 pub mod costas_model;
 pub mod engine;
+pub mod fault;
 pub mod langford;
 pub mod magic_square;
 pub mod multi_restart;
@@ -61,13 +65,14 @@ pub mod tie_break;
 pub use config::{AsConfig, AsConfigBuilder, ResetPolicy, RestartPolicy};
 pub use costas_model::{CostasModelConfig, CostasProblem};
 pub use engine::{Engine, InjectOutcome, StepOutcome};
+pub use fault::{Fault, FaultPlan, FaultyProblem};
 pub use multi_restart::{solve_costas, solve_with_restarts, SequentialDriver};
 pub use problem::PermutationProblem;
 pub use problems::{DynProblem, ProblemInfo};
 pub use request::{RequestError, SolveOutcome, SolveRequest, Termination};
 pub use stats::{SearchStats, SolveResult, SolveStatus};
 pub use tabu::TabuList;
-pub use termination::{StopCondition, StopReason};
+pub use termination::{CancelToken, StopCondition, StopReason};
 pub use tie_break::{pick_uniform, TieBreak};
 
 #[cfg(test)]

@@ -209,6 +209,32 @@ static REGISTRY: [ProblemInfo; 6] = [
     },
 ];
 
+/// Extra entries registered at runtime (see [`register_extra`]).  Deliberately
+/// *not* part of [`registry`]/[`keys`]: the static artefact order is a
+/// compatibility contract, and runtime extras (fault-injection wrappers, test
+/// doubles) must never leak into benchmark enumeration — only into by-key
+/// dispatch ([`find`]/[`build`]), which is what services resolve requests
+/// through.
+static EXTRA: std::sync::RwLock<Vec<&'static ProblemInfo>> = std::sync::RwLock::new(Vec::new());
+
+/// Register an additional workload at runtime, resolvable through [`find`] and
+/// [`build`] but excluded from [`registry`]/[`keys`] enumeration.
+///
+/// Registration is first-wins and idempotent per key: a key already present —
+/// statically or as an earlier extra — is left untouched and `false` is
+/// returned.  The entry is leaked to obtain the `'static` lifetime the rest of
+/// the registry API hands out; callers register a bounded number of entries
+/// (in practice: test harnesses registering one fault-injection wrapper).
+#[doc(hidden)]
+pub fn register_extra(info: ProblemInfo) -> bool {
+    let mut extra = EXTRA.write().unwrap_or_else(|e| e.into_inner());
+    if REGISTRY.iter().any(|e| e.key == info.key) || extra.iter().any(|e| e.key == info.key) {
+        return false;
+    }
+    extra.push(Box::leak(Box::new(info)));
+    true
+}
+
 /// All registered workloads, in the stable artefact order (the four seed models
 /// first, then the later additions — benchmark JSON consumers rely on existing
 /// entries never moving).
@@ -221,9 +247,16 @@ pub fn keys() -> impl Iterator<Item = &'static str> {
     REGISTRY.iter().map(|info| info.key)
 }
 
-/// Look up a workload by key.
+/// Look up a workload by key (static registry first, then runtime extras).
 pub fn find(key: &str) -> Option<&'static ProblemInfo> {
-    REGISTRY.iter().find(|info| info.key == key)
+    REGISTRY.iter().find(|info| info.key == key).or_else(|| {
+        EXTRA
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .find(|info| info.key == key)
+            .copied()
+    })
 }
 
 /// Build a workload by key with the given instance parameter (see
@@ -337,6 +370,33 @@ mod tests {
         assert_eq!(boxed.delta_for_swap(1, 5), direct.delta_for_swap(1, 5));
         boxed.apply_swap(0, 7);
         assert_ne!(boxed.configuration(), direct.configuration());
+    }
+
+    #[test]
+    fn runtime_extras_dispatch_by_key_but_stay_out_of_enumeration() {
+        let extra = ProblemInfo {
+            key: "test-extra-model",
+            summary: "runtime-registered double",
+            size_unit: "n",
+            build: |n| Box::new(CostasProblem::new(n)),
+            default_config: AsConfig::costas_defaults,
+            is_optimum: is_costas_permutation,
+            bench_size: usize::MAX,
+            bench_large_sizes: &[],
+            test_sizes: &[4],
+            solvable_sizes: &[],
+        };
+        assert!(register_extra(extra));
+        // idempotent per key, and static keys cannot be shadowed
+        assert!(!register_extra(extra));
+        assert!(!register_extra(ProblemInfo {
+            key: "costas",
+            ..extra
+        }));
+        assert!(find("test-extra-model").is_some());
+        assert!(build("test-extra-model", 5).is_some());
+        assert!(keys().all(|k| k != "test-extra-model"));
+        assert!(registry().iter().all(|i| i.key != "test-extra-model"));
     }
 
     #[test]

@@ -39,7 +39,9 @@ use crate::config::AsConfig;
 use crate::engine::Engine;
 use crate::problems::{self, ProblemInfo};
 use crate::stats::{SearchStats, SolveStatus};
-use crate::termination::{DeadlineStop, NeverStop, StopCondition};
+use crate::termination::{
+    AnyStop, CancelToken, DeadlineStop, NeverStop, StopCondition, StopReason,
+};
 
 /// Why a [`SolveRequest`] could not be executed.
 ///
@@ -199,6 +201,17 @@ impl SolveRequest {
     /// makes "same request + same seed ⇒ bit-identical outcome" hold across
     /// the workspace (all fields except the wall-clock `elapsed` replay).
     pub fn run(&self) -> Result<SolveOutcome, RequestError> {
+        self.run_with_cancel(None)
+    }
+
+    /// [`SolveRequest::run`] with an optional [`CancelToken`]: when the token's
+    /// flag is raised mid-solve the engine stops at its next stop-condition
+    /// poll and the outcome reports [`Termination::Cancelled`].  A deadline and
+    /// a cancel compose — whichever fires first names the termination.
+    pub fn run_with_cancel(
+        &self,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SolveOutcome, RequestError> {
         let info = self.info()?;
         let config = self.engine_config()?;
         let mut engine = Engine::new((info.build)(self.n), config, self.seed);
@@ -209,13 +222,21 @@ impl SolveRequest {
             engine.inject_candidate(warm, u64::MAX);
         }
         // An unrepresentable deadline (Instant overflow) degrades to "none".
-        let result = match self
+        let mut conditions: Vec<Box<dyn StopCondition>> = Vec::new();
+        if let Some(token) = cancel {
+            conditions.push(Box::new(token.stop_condition()));
+        }
+        if let Some(stop) = self
             .deadline
             .and_then(|d| Instant::now().checked_add(d))
             .map(DeadlineStop::at)
         {
-            Some(mut stop) => engine.solve_until(&mut stop),
-            None => engine.solve_until(&mut NeverStop),
+            conditions.push(Box::new(stop));
+        }
+        let result = if conditions.is_empty() {
+            engine.solve_until(&mut NeverStop)
+        } else {
+            engine.solve_until(&mut AnyStop::new(conditions))
         };
         let solved = result.status == SolveStatus::Solved
             && result
@@ -228,8 +249,17 @@ impl SolveRequest {
             // report it as an exhausted run rather than a false positive.
             SolveStatus::Solved => Termination::BudgetExhausted,
             SolveStatus::IterationLimit => Termination::BudgetExhausted,
-            // The only external stop condition on this path is the deadline.
-            SolveStatus::ExternallyStopped => Termination::DeadlineExpired,
+            // The recorded stop reason tells a cancellation apart from a
+            // deadline expiry; an absent reason on this path can only be the
+            // deadline (the legacy composition without a cancel token).
+            SolveStatus::ExternallyStopped => match result.stop_reason {
+                Some(StopReason::Cancelled) => Termination::Cancelled,
+                _ => Termination::DeadlineExpired,
+            },
+            // Unreachable here — the engine never returns Panicked (only
+            // supervising runners construct it) — but a service must map every
+            // status to *some* answer rather than abort.
+            SolveStatus::Panicked => Termination::Cancelled,
         };
         Ok(SolveOutcome {
             problem: info.key,
@@ -375,6 +405,50 @@ mod tests {
             "deadline ignored"
         );
         assert!(outcome.solution.is_none());
+    }
+
+    #[test]
+    fn a_pre_cancelled_token_terminates_as_cancelled() {
+        // The token is raised before the run starts: the engine stops at its
+        // first stop-condition poll and the outcome must say "cancelled", not
+        // "deadline" — this is the request-level half of in-flight
+        // cancellation (the service half raises the token from another
+        // thread).
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = SolveRequest::new("costas", 24, 1)
+            .run_with_cancel(Some(&token))
+            .expect("runs");
+        assert_eq!(outcome.termination, Termination::Cancelled);
+        assert!(outcome.solution.is_none());
+    }
+
+    #[test]
+    fn cancel_raised_from_another_thread_stops_an_unbounded_solve() {
+        let token = CancelToken::new();
+        let signal = token.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                signal.cancel();
+            });
+            // Costas n = 24 with no budget and no deadline would run for a
+            // very long time; only the cancel can end it.
+            let outcome = SolveRequest::new("costas", 24, 7)
+                .run_with_cancel(Some(&token))
+                .expect("runs");
+            assert_eq!(outcome.termination, Termination::Cancelled);
+        });
+    }
+
+    #[test]
+    fn deadline_still_wins_when_no_cancel_arrives() {
+        let token = CancelToken::new();
+        let outcome = SolveRequest::new("costas", 24, 1)
+            .with_deadline(Duration::from_millis(20))
+            .run_with_cancel(Some(&token))
+            .expect("runs");
+        assert_eq!(outcome.termination, Termination::DeadlineExpired);
     }
 
     #[test]

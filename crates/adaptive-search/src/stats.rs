@@ -7,6 +7,8 @@
 
 use std::time::Duration;
 
+use crate::termination::StopReason;
+
 /// Counters accumulated by one engine over one (or more, if restarting) walks.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SearchStats {
@@ -76,6 +78,11 @@ pub enum SolveStatus {
     IterationLimit,
     /// An external stop condition fired (e.g. another parallel walk finished first).
     ExternallyStopped,
+    /// The walk's thread panicked and was isolated by a fault-tolerant runner;
+    /// the result is a synthetic placeholder (no solution, `u64::MAX` costs).
+    /// The engine itself never returns this status — only supervising runners
+    /// construct it after `catch_unwind`.
+    Panicked,
 }
 
 /// The outcome of a solve call.
@@ -93,9 +100,28 @@ pub struct SolveResult {
     pub stats: SearchStats,
     /// Wall-clock time spent inside the engine.
     pub elapsed: Duration,
+    /// Which [`StopReason`] fired when `status == ExternallyStopped`; `None`
+    /// for every other status.  This is what lets request-level callers tell a
+    /// cancellation apart from a deadline expiry after the fact.
+    pub stop_reason: Option<StopReason>,
 }
 
 impl SolveResult {
+    /// A synthetic result for a walk whose thread panicked: no solution,
+    /// `u64::MAX` costs (so it can never win a best-cost comparison), empty
+    /// stats.  Fault-tolerant runners slot this in for the dead walk so
+    /// per-walk accounting stays index-aligned.
+    pub fn panicked(elapsed: Duration) -> Self {
+        Self {
+            status: SolveStatus::Panicked,
+            solution: None,
+            final_cost: u64::MAX,
+            best_cost: u64::MAX,
+            stats: SearchStats::default(),
+            elapsed,
+            stop_reason: None,
+        }
+    }
     /// Convenience predicate.
     pub fn is_solved(&self) -> bool {
         self.status == SolveStatus::Solved
@@ -170,6 +196,7 @@ mod tests {
                 ..Default::default()
             },
             elapsed: Duration::from_millis(500),
+            stop_reason: None,
         };
         assert!(r.is_solved());
         assert!((r.iterations_per_second() - 2000.0).abs() < 1e-9);
@@ -181,8 +208,20 @@ mod tests {
             best_cost: 3,
             stats: SearchStats::default(),
             elapsed: Duration::ZERO,
+            stop_reason: None,
         };
         assert!(!r2.is_solved());
         assert_eq!(r2.iterations_per_second(), 0.0);
+    }
+
+    #[test]
+    fn panicked_placeholder_never_wins_and_never_claims_a_solution() {
+        let r = SolveResult::panicked(Duration::from_millis(3));
+        assert_eq!(r.status, SolveStatus::Panicked);
+        assert!(!r.is_solved());
+        assert!(r.solution.is_none());
+        assert_eq!(r.best_cost, u64::MAX);
+        assert_eq!(r.final_cost, u64::MAX);
+        assert_eq!(r.stop_reason, None);
     }
 }

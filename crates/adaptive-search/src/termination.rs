@@ -70,6 +70,47 @@ impl StopCondition for FlagStop {
     }
 }
 
+/// A shared cancellation handle: the owner side of a [`FlagStop`].
+///
+/// One token is created per solve job; cloning shares the underlying flag, so
+/// a service can keep one clone in a registry (to honour a `cancel` wire
+/// request) while the worker threads poll another through
+/// [`CancelToken::stop_condition`].  Raising the flag is idempotent and
+/// irrevocable for the job's lifetime — a cancelled job stays cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the flag: every stop condition derived from this token (or any of
+    /// its clones) fires [`StopReason::Cancelled`] at its next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the flag been raised?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// A [`StopCondition`] view of this token, for the engine's polling loop.
+    pub fn stop_condition(&self) -> FlagStop {
+        FlagStop::new(self.flag.clone())
+    }
+
+    /// Do two handles share the same underlying flag?  (Used by services to
+    /// guard registry removal against id reuse.)
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
 /// Stop when a wall-clock deadline has passed.
 #[derive(Debug, Clone)]
 pub struct DeadlineStop {
@@ -168,6 +209,21 @@ mod tests {
         assert_eq!(any.should_stop(), Some(StopReason::Deadline));
         let mut none = AnyStop::new(vec![Box::new(NeverStop), Box::new(NeverStop)]);
         assert_eq!(none.should_stop(), None);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_idempotent() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        let mut stop = token.stop_condition();
+        assert!(!token.is_cancelled());
+        assert_eq!(stop.should_stop(), None);
+        clone.cancel();
+        clone.cancel(); // idempotent
+        assert!(token.is_cancelled());
+        assert_eq!(stop.should_stop(), Some(StopReason::Cancelled));
+        assert!(token.same_token(&clone));
+        assert!(!token.same_token(&CancelToken::new()));
     }
 
     #[test]

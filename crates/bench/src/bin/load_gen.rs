@@ -11,9 +11,15 @@
 //! The request mix is deterministic in `COSTAS_SEED` (see
 //! `bench::loadgen::request_line`): small registry instances that solve in
 //! milliseconds, with every 7th request a 2-walk Costas fan-out under a tight
-//! deadline, so the race and deadline paths both see traffic.
+//! deadline, and every 13th slot a cancel victim whose cancel message follows
+//! one slot later — the race, deadline, and in-flight-cancellation paths all
+//! see traffic.  Queue-full rejects are re-offered up to `COSTAS_LOAD_RETRIES`
+//! times with deterministic exponential backoff
+//! (`COSTAS_LOAD_RETRY_BACKOFF_MS`), and `COSTAS_FAULT_SEED` installs a seeded
+//! chaos plan that routes the small-Costas leg through the fault-injection
+//! wrapper (panicking models surface as typed `worker-panicked` responses).
 //!
-//! Output: a summary table on stdout and a standalone `solverd_load/v1`
+//! Output: a summary table on stdout and a standalone `solverd_load/v2`
 //! artefact (`BENCH_solverd_load.json`, destination overridable with
 //! `COSTAS_BENCH_JSON`).  The same section rides along in the committed
 //! `BENCH_dev.json` via the `coop_vs_independent` harness.
@@ -56,6 +62,12 @@ fn main() {
         "rejected (other)".into(),
         report.rejected_other.to_string(),
     ]);
+    table.add_row(vec![
+        "worker panicked".into(),
+        report.worker_panicked.to_string(),
+    ]);
+    table.add_row(vec!["retries".into(), report.retries.to_string()]);
+    table.add_row(vec!["cancels sent".into(), report.cancels_sent.to_string()]);
     table.add_row(vec!["solved".into(), report.solved.to_string()]);
     table.add_row(vec![
         "deadline expired".into(),
@@ -65,6 +77,7 @@ fn main() {
         "budget exhausted".into(),
         report.budget_exhausted.to_string(),
     ]);
+    table.add_row(vec!["cancelled".into(), report.cancelled.to_string()]);
     table.add_row(vec![
         "requests/sec".into(),
         format!("{:.1}", report.requests_per_sec),
@@ -84,7 +97,7 @@ fn main() {
     println!("\n{}", table.render());
 
     let doc = report.to_json();
-    validate_solverd_load(&doc).expect("load report emits a valid solverd_load/v1 section");
+    validate_solverd_load(&doc).expect("load report emits a valid solverd_load/v2 section");
     let json_path = write_bench_json("BENCH_solverd_load.json", &doc);
     println!("JSON written to {}", json_path.display());
 }

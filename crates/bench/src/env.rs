@@ -30,6 +30,9 @@
 //! | `COSTAS_LOAD_REQUESTS` | `load_requests` | load_gen request count |
 //! | `COSTAS_LOAD_WORKERS` | `load_workers` | load_gen in-process pool size |
 //! | `COSTAS_LOAD_QUEUE` | `load_queue` | load_gen admission-queue capacity |
+//! | `COSTAS_LOAD_RETRIES` | `load_retries` | load_gen retry cap on queue-full rejects |
+//! | `COSTAS_LOAD_RETRY_BACKOFF_MS` | `load_retry_backoff_ms` | base backoff of those retries |
+//! | `COSTAS_FAULT_SEED` | `fault_seed` | seed a chaos fault plan into the load run |
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -67,6 +70,16 @@ pub struct BenchConfig {
     pub load_workers: usize,
     /// `COSTAS_LOAD_QUEUE`: admission-queue capacity of that service.
     pub load_queue: usize,
+    /// `COSTAS_LOAD_RETRIES`: how many times `load_gen` re-offers a request
+    /// bounced with `"queue-full"` before counting it rejected (0 disables).
+    pub load_retries: usize,
+    /// `COSTAS_LOAD_RETRY_BACKOFF_MS`: base of the deterministic exponential
+    /// backoff between those retries (`base * 2^attempt` milliseconds).
+    pub load_retry_backoff_ms: u64,
+    /// `COSTAS_FAULT_SEED`: when set, `load_gen` installs a seeded chaos
+    /// fault plan and routes part of its mix through the fault-injection
+    /// wrapper, so the serving numbers are measured under injected failures.
+    pub fault_seed: Option<u64>,
     /// Diagnostics accumulated during parsing (unknown variables, bad values).
     pub warnings: Vec<String>,
 }
@@ -86,6 +99,9 @@ impl Default for BenchConfig {
             load_requests: 60,
             load_workers: 2,
             load_queue: 16,
+            load_retries: 3,
+            load_retry_backoff_ms: 25,
+            fault_seed: None,
             warnings: Vec::new(),
         }
     }
@@ -177,10 +193,29 @@ impl BenchConfig {
                         config.warn_parse(&name, &value, &format!("using {default}"));
                     }
                 },
+                "COSTAS_LOAD_RETRIES" => match value.parse() {
+                    Ok(retries) => config.load_retries = retries,
+                    Err(_) => {
+                        let default = config.load_retries;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_LOAD_RETRY_BACKOFF_MS" => match value.parse() {
+                    Ok(base) => config.load_retry_backoff_ms = base,
+                    Err(_) => {
+                        let default = config.load_retry_backoff_ms;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_FAULT_SEED" => match value.parse() {
+                    Ok(seed) => config.fault_seed = Some(seed),
+                    Err(_) => config.warn_parse(&name, &value, "fault injection stays off"),
+                },
                 _ => config.warnings.push(format!(
                     "unknown variable {name} (typo? this version knows: FULL, RUNS, SEED, \
                      BENCH_JSON, THREADS, SCALING_STEPS, COOP_INTERVAL, SOLVERD_ADDR, \
-                     LOAD_RPS, LOAD_REQUESTS, LOAD_WORKERS, LOAD_QUEUE)"
+                     LOAD_RPS, LOAD_REQUESTS, LOAD_WORKERS, LOAD_QUEUE, LOAD_RETRIES, \
+                     LOAD_RETRY_BACKOFF_MS, FAULT_SEED)"
                 )),
             }
         }
@@ -230,6 +265,9 @@ mod tests {
             ("COSTAS_LOAD_REQUESTS", "99"),
             ("COSTAS_LOAD_WORKERS", "3"),
             ("COSTAS_LOAD_QUEUE", "5"),
+            ("COSTAS_LOAD_RETRIES", "6"),
+            ("COSTAS_LOAD_RETRY_BACKOFF_MS", "10"),
+            ("COSTAS_FAULT_SEED", "4242"),
             ("PATH", "/usr/bin"), // non-COSTAS vars are ignored
         ]));
         assert!(config.full);
@@ -244,6 +282,9 @@ mod tests {
         assert_eq!(config.load_requests, 99);
         assert_eq!(config.load_workers, 3);
         assert_eq!(config.load_queue, 5);
+        assert_eq!(config.load_retries, 6);
+        assert_eq!(config.load_retry_backoff_ms, 10);
+        assert_eq!(config.fault_seed, Some(4242));
         assert!(config.warnings.is_empty(), "{:?}", config.warnings);
     }
 
@@ -265,13 +306,17 @@ mod tests {
             ("COSTAS_LOAD_RPS", "-3"),
             ("COSTAS_LOAD_WORKERS", "0"),
             ("COSTAS_THREADS", "zero,none"),
+            ("COSTAS_LOAD_RETRIES", "many"),
+            ("COSTAS_FAULT_SEED", "chaotic"),
         ]));
         assert_eq!(config.runs_override, None);
         assert_eq!(config.master_seed, DEFAULT_MASTER_SEED);
         assert_eq!(config.load_rps, BenchConfig::default().load_rps);
         assert_eq!(config.load_workers, BenchConfig::default().load_workers);
         assert_eq!(config.thread_counts.as_deref(), Some(&[1][..]));
-        assert_eq!(config.warnings.len(), 5, "{:?}", config.warnings);
+        assert_eq!(config.load_retries, BenchConfig::default().load_retries);
+        assert_eq!(config.fault_seed, None, "a bad seed must not arm chaos");
+        assert_eq!(config.warnings.len(), 7, "{:?}", config.warnings);
         for warning in &config.warnings {
             assert!(warning.contains("could not parse"), "{warning}");
         }

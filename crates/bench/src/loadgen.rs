@@ -1,10 +1,10 @@
-//! Load generation against a `solverd` service (`solverd_load/v1`).
+//! Load generation against a `solverd` service (`solverd_load/v2`).
 //!
 //! Drives a solver service at a configurable offered rate with a deterministic
 //! request mix over the workload registry, and reduces the response stream to
 //! the serving-side numbers the north star cares about: requests/sec actually
 //! sustained, solve-success rate, and latency percentiles (p50/p90/p99, from
-//! submission to response line).
+//! first submission to final response line).
 //!
 //! Two transports, same accounting:
 //!
@@ -19,12 +19,34 @@
 //! `start + i/target_rps` regardless of how responses are going, which is what
 //! makes queue-full rejections a *measurement* of backpressure rather than an
 //! artefact of a stalling client.
+//!
+//! ## v2: retries, cancels, faults
+//!
+//! * A request bounced with `"queue-full"` is re-offered up to
+//!   [`LoadOptions::retries`] times with deterministic exponential backoff
+//!   (`retry_backoff_ms * 2^attempt`).  Re-offers are counted in the
+//!   `retries` field — **not** folded into `rejected_overflow`, which now
+//!   means "rejected with the retry budget exhausted".  Latency stays
+//!   first-submission-to-final-response, so retried requests honestly carry
+//!   their backoff time.
+//! * Every 13th slot (index ≡ 11 mod 13) is a *cancel victim*: a hard
+//!   instance whose cancel message follows one pacing slot later, exercising
+//!   the service's in-flight cancellation path under load (`cancels_sent` /
+//!   `cancelled`).
+//! * With [`LoadOptions::fault_seed`] set (env: `COSTAS_FAULT_SEED`), a
+//!   seeded chaos plan is installed and the small-Costas mix leg runs through
+//!   the fault-injection wrapper — panicking cost models surface as typed
+//!   `"worker-panicked"` responses, counted in `worker_panicked`.  The
+//!   admission invariant becomes
+//!   `completed + rejected_overflow + rejected_other + worker_panicked == offered`.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
+use adaptive_search::fault::{self, FaultPlan};
 use runtime_stats::{BatchStats, Json};
 use solverd::{Service, ServiceConfig};
 
@@ -47,12 +69,22 @@ pub struct LoadOptions {
     pub master_seed: u64,
     /// Drive a remote `solverd --tcp` endpoint instead of an in-process pool.
     pub remote_addr: Option<String>,
+    /// Re-offers of a queue-full-rejected request before giving up (0 = off).
+    pub retries: usize,
+    /// Base of the deterministic backoff between re-offers (ms, doubled per
+    /// attempt).
+    pub retry_backoff_ms: u64,
+    /// When set, install a chaos [`FaultPlan`] with this seed and route the
+    /// small-Costas mix leg through the fault-injection wrapper.
+    pub fault_seed: Option<u64>,
 }
 
 impl LoadOptions {
     /// Read the knobs from the process-wide [`BenchConfig`]
     /// (`COSTAS_LOAD_RPS`, `COSTAS_LOAD_REQUESTS`, `COSTAS_LOAD_WORKERS`,
-    /// `COSTAS_LOAD_QUEUE`, `COSTAS_SOLVERD_ADDR`, `COSTAS_SEED`).
+    /// `COSTAS_LOAD_QUEUE`, `COSTAS_LOAD_RETRIES`,
+    /// `COSTAS_LOAD_RETRY_BACKOFF_MS`, `COSTAS_FAULT_SEED`,
+    /// `COSTAS_SOLVERD_ADDR`, `COSTAS_SEED`).
     pub fn from_env() -> Self {
         let config = BenchConfig::get();
         Self {
@@ -62,11 +94,14 @@ impl LoadOptions {
             queue_capacity: config.load_queue,
             master_seed: config.master_seed,
             remote_addr: config.solverd_addr.clone(),
+            retries: config.load_retries,
+            retry_backoff_ms: config.load_retry_backoff_ms,
+            fault_seed: config.fault_seed,
         }
     }
 }
 
-/// The reduced result of one load run — everything the `solverd_load/v1`
+/// The reduced result of one load run — everything the `solverd_load/v2`
 /// artefact section records.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -78,30 +113,38 @@ pub struct LoadReport {
     pub queue_capacity: usize,
     /// Offered rate the run targeted.
     pub target_rps: f64,
-    /// Requests offered.
+    /// Requests offered (re-offers of the same request are not counted here).
     pub offered: usize,
-    /// Requests admitted (= answered with `"status":"ok"`; the service answers
-    /// every admitted request).
+    /// Requests answered with `"status":"ok"` (the service answers every
+    /// admitted request).
     pub completed: usize,
-    /// Backpressure rejections (`"queue-full"`).
+    /// Requests rejected `"queue-full"` with the retry budget exhausted.
     pub rejected_overflow: usize,
     /// Any other non-ok response (invalid request, parse error) — a correct
     /// generator against a correct service produces zero of these.
     pub rejected_other: usize,
+    /// Requests answered with the typed `"worker-panicked"` failure (only
+    /// non-zero under an installed fault plan).
+    pub worker_panicked: usize,
+    /// Re-offers made after `"queue-full"` rejects (not new requests).
+    pub retries: usize,
+    /// Cancel messages sent at the victim slots.
+    pub cancels_sent: usize,
     /// Completed requests that solved.
     pub solved: usize,
     /// Completed requests whose deadline expired first.
     pub deadline_expired: usize,
     /// Completed requests whose iteration budget ran out first.
     pub budget_exhausted: usize,
-    /// Completed requests cancelled by the service (none in this harness).
+    /// Completed requests cancelled mid-flight (the victim slots).
     pub cancelled: usize,
     /// Wall-clock of the whole run, submission of the first request to the
     /// last response.
     pub elapsed_s: f64,
     /// Completed requests per second of wall-clock.
     pub requests_per_sec: f64,
-    /// Submission-to-response latency of every completed request, milliseconds.
+    /// First-submission-to-final-response latency of every completed request,
+    /// milliseconds.
     pub latencies_ms: Vec<f64>,
     /// Master seed of the request stream.
     pub master_seed: u64,
@@ -118,7 +161,7 @@ impl LoadReport {
         }
     }
 
-    /// The report as a `solverd_load/v1` JSON section.
+    /// The report as a `solverd_load/v2` JSON section.
     pub fn to_json(&self) -> Json {
         Json::object(vec![
             ("schema", Json::from(SOLVERD_LOAD_SCHEMA)),
@@ -130,6 +173,9 @@ impl LoadReport {
             ("completed", Json::from(self.completed)),
             ("rejected_overflow", Json::from(self.rejected_overflow)),
             ("rejected_other", Json::from(self.rejected_other)),
+            ("worker_panicked", Json::from(self.worker_panicked)),
+            ("retries", Json::from(self.retries)),
+            ("cancels_sent", Json::from(self.cancels_sent)),
             ("solved", Json::from(self.solved)),
             ("deadline_expired", Json::from(self.deadline_expired)),
             ("budget_exhausted", Json::from(self.budget_exhausted)),
@@ -151,13 +197,22 @@ impl LoadReport {
 
 /// The deterministic request mix: small registry instances that solve in
 /// milliseconds (so a load run measures *serving*, not one hard search), with
-/// every 7th request an explicit 2-walk fan-out at the Costas bench size under
-/// a tight budget + deadline, so the race path and the deadline path both see
-/// traffic.
-pub fn request_line(index: usize, master_seed: u64) -> String {
+/// every 7th request an explicit 2-walk fan-out at the Costas bench size
+/// under a tight budget + deadline, and every 13th slot (index ≡ 11 mod 13)
+/// a cancel victim — a hard instance whose `{"cancel":...}` message follows
+/// one pacing slot later.  With `chaos` set, the small-Costas leg runs
+/// through the fault-injection wrapper instead of the bare model.
+pub fn request_line(index: usize, master_seed: u64, chaos: bool) -> String {
     // SplitMix64-style derivation: decorrelated per-request seeds from one knob.
     let seed = (master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    if index % 13 == 11 {
+        // Cancel victim: only its cancel (or the 2.5 s safety deadline) can
+        // end it — the budget never runs out on a human timescale.
+        return format!(
+            r#"{{"id":"q{index}","problem":"costas","n":22,"seed":{seed},"budget":18446744073709551615,"deadline_ms":2500}}"#
+        );
+    }
     if index % 7 == 6 {
         return format!(
             r#"{{"id":"q{index}","problem":"costas","n":18,"seed":{seed},"budget":150000,"deadline_ms":2000,"walks":2}}"#
@@ -171,15 +226,41 @@ pub fn request_line(index: usize, master_seed: u64) -> String {
         ("magic-square", 4),
         ("number-partitioning", 12),
     ];
-    let (problem, n) = MIX[index % MIX.len()];
+    let (mut problem, n) = MIX[index % MIX.len()];
+    if chaos && problem == "costas" {
+        problem = fault::CHAOS_PROBLEM;
+    }
     format!(
         r#"{{"id":"q{index}","problem":"{problem}","n":{n},"seed":{seed},"budget":400000,"deadline_ms":10000}}"#
     )
 }
 
+/// The cancel message for the victim at `index`.
+pub fn cancel_line(index: usize) -> String {
+    format!(r#"{{"cancel":"q{index}"}}"#)
+}
+
+/// The chaos plan a `fault_seed` installs: mostly healthy traffic with a
+/// meaningful slice of panics and short stalls, faults tripping within the
+/// first ~50 cost evaluations.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        panic_per_mille: 350,
+        stall_per_mille: 150,
+        stall_ms: 20,
+        min_op: 1,
+        op_spread: 48,
+    }
+}
+
 /// Run the load: in-process pool by default, TCP when
 /// [`LoadOptions::remote_addr`] is set.
 pub fn run(opts: &LoadOptions) -> LoadReport {
+    if let Some(seed) = opts.fault_seed {
+        fault::ensure_chaos_registered();
+        fault::install_plan(chaos_plan(seed));
+    }
     match &opts.remote_addr {
         Some(addr) => run_tcp(opts, addr),
         None => run_in_process(opts),
@@ -191,33 +272,49 @@ fn run_in_process(opts: &LoadOptions) -> LoadReport {
         workers: opts.workers,
         queue_capacity: opts.queue_capacity,
         fanout_walks: 2,
+        ..ServiceConfig::default()
     });
-    let (tx, rx) = mpsc::channel::<String>();
-    let collector = std::thread::spawn(move || {
-        let mut events: Vec<(Instant, String)> = Vec::new();
-        for line in rx {
-            events.push((Instant::now(), line));
-        }
-        events
-    });
+    let (raw_tx, raw_rx) = mpsc::channel::<String>();
+    let (ev_tx, ev_rx) = mpsc::channel::<(Instant, String)>();
 
     let start = Instant::now();
-    let sent = pace_requests(opts, start, |line| {
-        service.submit(line, &tx);
+    let (finals, sent, cancels_sent, retries, elapsed) = std::thread::scope(|scope| {
+        // Stamper: timestamp responses the moment they arrive, whatever the
+        // collector is busy with.
+        scope.spawn(move || {
+            for line in raw_rx {
+                if ev_tx.send((Instant::now(), line)).is_err() {
+                    break;
+                }
+            }
+        });
+        let pacer = {
+            let service = &service;
+            let tx = raw_tx.clone();
+            scope.spawn(move || {
+                pace_requests(opts, start, |line| {
+                    service.submit(line, &tx);
+                })
+            })
+        };
+        let resubmit_tx = raw_tx;
+        let (finals, retries) = collect_with_retries(opts, &ev_rx, |line| {
+            service.submit(line, &resubmit_tx);
+        });
+        let (sent, cancels_sent) = pacer.join().expect("pacer thread");
+        let elapsed = start.elapsed();
+        (finals, sent, cancels_sent, retries, elapsed)
     });
-    drop(tx);
-    // Graceful drop: drains the queue, so every admitted request is answered
-    // and the collector's channel closes only after the last response.
     drop(service);
-    let events = collector.join().expect("collector thread");
-    let elapsed = start.elapsed();
     reduce(
         opts,
         "in-process",
         opts.workers,
         opts.queue_capacity,
         sent,
-        events,
+        finals,
+        cancels_sent,
+        retries,
         elapsed,
     )
 }
@@ -226,56 +323,162 @@ fn run_tcp(opts: &LoadOptions, addr: &str) -> LoadReport {
     let stream =
         TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect to solverd at {addr}: {e}"));
     let reader = BufReader::new(stream.try_clone().expect("clone TCP stream"));
-    let expected = opts.requests;
-    let collector = std::thread::spawn(move || {
-        let mut events: Vec<(Instant, String)> = Vec::new();
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
-            events.push((Instant::now(), line));
-            if events.len() == expected {
-                break; // one response per request: done without waiting for EOF
-            }
-        }
-        events
-    });
+    let (ev_tx, ev_rx) = mpsc::channel::<(Instant, String)>();
+    // Two submitters (pacer + retry path) share the socket; the lock keeps
+    // their lines from interleaving mid-write.
+    let writer = Mutex::new(&stream);
+    let submit = |line: &str| {
+        let mut guard = writer.lock().unwrap_or_else(|poison| poison.into_inner());
+        writeln!(guard, "{line}").expect("write request line");
+        let _ = guard.flush();
+    };
 
-    let mut writer = &stream;
     let start = Instant::now();
-    let sent = pace_requests(opts, start, |line| {
-        writeln!(writer, "{line}").expect("write request line");
+    let (finals, sent, cancels_sent, retries, elapsed) = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if ev_tx.send((Instant::now(), line)).is_err() {
+                    break;
+                }
+            }
+        });
+        let pacer = scope.spawn(|| pace_requests(opts, start, submit));
+        let (finals, retries) = collect_with_retries(opts, &ev_rx, submit);
+        let (sent, cancels_sent) = pacer.join().expect("pacer thread");
+        let elapsed = start.elapsed();
+        // Unblocks the reader thread so the scope can close.
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        (finals, sent, cancels_sent, retries, elapsed)
     });
-    let _ = writer.flush();
-    let events = collector.join().expect("collector thread");
-    let elapsed = start.elapsed();
-    let _ = stream.shutdown(std::net::Shutdown::Both);
     // Remote pool shape is unknown here; 0 marks "not measured".
-    reduce(opts, "tcp", 0, 0, sent, events, elapsed)
+    reduce(
+        opts,
+        "tcp",
+        0,
+        0,
+        sent,
+        finals,
+        cancels_sent,
+        retries,
+        elapsed,
+    )
 }
 
 /// Open-loop pacing: request `i` goes out at `start + i/target_rps`, however
-/// the service is doing.  Returns the submission instant of every request.
-fn pace_requests(opts: &LoadOptions, start: Instant, mut submit: impl FnMut(&str)) -> Vec<Instant> {
+/// the service is doing; each victim's cancel goes out one slot after it.
+/// Returns the first-submission instant of every request and the number of
+/// cancels sent.
+fn pace_requests(
+    opts: &LoadOptions,
+    start: Instant,
+    mut submit: impl FnMut(&str),
+) -> (Vec<Instant>, usize) {
     let period = Duration::from_secs_f64(1.0 / opts.target_rps.max(f64::MIN_POSITIVE));
+    let chaos = opts.fault_seed.is_some();
     let mut sent = Vec::with_capacity(opts.requests);
+    let mut cancels = 0usize;
     for i in 0..opts.requests {
         let due = start + period.mul_f64(i as f64);
         if let Some(wait) = due.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        let line = request_line(i, opts.master_seed);
+        if i % 13 == 12 {
+            submit(&cancel_line(i - 1));
+            cancels += 1;
+        }
+        let line = request_line(i, opts.master_seed, chaos);
         sent.push(Instant::now());
         submit(&line);
     }
-    sent
+    // A victim in the final slot still gets its cancel (after a short grace
+    // so the cancel provably lands while the victim is live).
+    if opts.requests >= 1 && (opts.requests - 1) % 13 == 11 {
+        std::thread::sleep(Duration::from_millis(50));
+        submit(&cancel_line(opts.requests - 1));
+        cancels += 1;
+    }
+    (sent, cancels)
 }
 
+/// Drain the response stream until every offered request has a *final*
+/// disposition, re-offering queue-full rejects with deterministic backoff
+/// along the way.  Returns the final response per request (timestamped) and
+/// the number of re-offers made.  Cancel-acks are protocol chatter, not
+/// request dispositions, and are dropped here.
+fn collect_with_retries(
+    opts: &LoadOptions,
+    events: &mpsc::Receiver<(Instant, String)>,
+    mut resubmit: impl FnMut(&str),
+) -> (Vec<(Instant, String)>, usize) {
+    let chaos = opts.fault_seed.is_some();
+    let mut finals: Vec<(Instant, String)> = Vec::new();
+    let mut attempts: HashMap<usize, usize> = HashMap::new();
+    let mut pending: Vec<(Instant, usize)> = Vec::new();
+    let mut retries = 0usize;
+    while finals.len() < opts.requests {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= now {
+                let (_, index) = pending.swap_remove(i);
+                resubmit(&request_line(index, opts.master_seed, chaos));
+            } else {
+                i += 1;
+            }
+        }
+        let timeout = pending
+            .iter()
+            .map(|(due, _)| due.saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_millis(250))
+            .min(Duration::from_millis(250));
+        let (received, line) = match events.recv_timeout(timeout.max(Duration::from_millis(1))) {
+            Ok(event) => event,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        let doc = Json::parse(&line).expect("service responses are valid JSON");
+        let status = doc.get("status").and_then(Json::as_str).unwrap_or("");
+        if status == "cancel-ack" {
+            continue;
+        }
+        let index = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .and_then(|id| id.strip_prefix('q'))
+            .and_then(|digits| digits.parse::<usize>().ok());
+        let queue_full =
+            status == "rejected" && doc.get("reason").and_then(Json::as_str) == Some("queue-full");
+        if queue_full {
+            if let Some(index) = index {
+                let attempt = attempts.entry(index).or_insert(0);
+                if *attempt < opts.retries {
+                    // Deterministic exponential backoff: base * 2^attempt.
+                    let backoff =
+                        Duration::from_millis(opts.retry_backoff_ms.saturating_mul(1 << *attempt));
+                    *attempt += 1;
+                    retries += 1;
+                    pending.push((Instant::now() + backoff, index));
+                    continue; // not final: the request will be re-offered
+                }
+            }
+        }
+        finals.push((received, line));
+    }
+    (finals, retries)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn reduce(
     opts: &LoadOptions,
     mode: &'static str,
     workers: usize,
     queue_capacity: usize,
     sent: Vec<Instant>,
-    events: Vec<(Instant, String)>,
+    finals: Vec<(Instant, String)>,
+    cancels_sent: usize,
+    retries: usize,
     elapsed: Duration,
 ) -> LoadReport {
     let mut report = LoadReport {
@@ -287,6 +490,9 @@ fn reduce(
         completed: 0,
         rejected_overflow: 0,
         rejected_other: 0,
+        worker_panicked: 0,
+        retries,
+        cancels_sent,
         solved: 0,
         deadline_expired: 0,
         budget_exhausted: 0,
@@ -296,7 +502,7 @@ fn reduce(
         latencies_ms: Vec::new(),
         master_seed: opts.master_seed,
     };
-    for (received, line) in events {
+    for (received, line) in finals {
         let doc = Json::parse(&line).expect("service responses are valid JSON");
         let status = doc.get("status").and_then(Json::as_str).unwrap_or("");
         match status {
@@ -308,7 +514,7 @@ fn reduce(
                     Some("budget") => report.budget_exhausted += 1,
                     _ => report.cancelled += 1,
                 }
-                // "q<i>" → submission instant of request i.
+                // "q<i>" → first-submission instant of request i.
                 if let Some(i) = doc
                     .get("id")
                     .and_then(Json::as_str)
@@ -322,6 +528,7 @@ fn reduce(
                     }
                 }
             }
+            "failed" => report.worker_panicked += 1,
             "rejected" if doc.get("reason").and_then(Json::as_str) == Some("queue-full") => {
                 report.rejected_overflow += 1;
             }
@@ -345,22 +552,50 @@ mod tests {
             queue_capacity: 16,
             master_seed: 7,
             remote_addr: None,
+            retries: 3,
+            retry_backoff_ms: 5,
+            fault_seed: None,
         }
+    }
+
+    fn assert_admission_accounting(report: &LoadReport) {
+        assert_eq!(
+            report.completed
+                + report.rejected_overflow
+                + report.rejected_other
+                + report.worker_panicked,
+            report.offered,
+            "every offered request is accounted for exactly once"
+        );
+        assert_eq!(
+            report.solved + report.deadline_expired + report.budget_exhausted + report.cancelled,
+            report.completed
+        );
+        assert!(report.cancelled <= report.cancels_sent);
     }
 
     #[test]
     fn request_stream_is_deterministic_and_parseable() {
         for i in 0..20 {
-            assert_eq!(request_line(i, 7), request_line(i, 7));
-            let wire = solverd::parse_request(&request_line(i, 7)).expect("mix lines parse");
+            assert_eq!(request_line(i, 7, false), request_line(i, 7, false));
+            let wire = solverd::parse_request(&request_line(i, 7, false)).expect("mix lines parse");
             assert_eq!(wire.id, format!("q{i}"));
             assert!(wire.request.validate().is_ok(), "index {i}");
         }
         // the fan-out leg appears at every 7th slot
-        assert!(request_line(6, 7).contains("\"walks\":2"));
+        assert!(request_line(6, 7, false).contains("\"walks\":2"));
+        // the cancel-victim leg at index ≡ 11 (mod 13), with its cancel line
+        assert!(request_line(11, 7, false).contains("18446744073709551615"));
+        assert!(matches!(
+            solverd::parse_message(&cancel_line(11)),
+            Ok(solverd::WireMessage::Cancel { .. })
+        ));
+        // the chaos flag reroutes only the small-Costas leg
+        assert!(request_line(0, 7, true).contains("chaos-costas"));
+        assert_eq!(request_line(1, 7, true), request_line(1, 7, false));
         assert_ne!(
-            request_line(0, 1),
-            request_line(0, 2),
+            request_line(0, 1, false),
+            request_line(0, 2, false),
             "seed varies the stream"
         );
     }
@@ -369,19 +604,12 @@ mod tests {
     fn in_process_burst_accounts_for_every_request() {
         let report = run(&quick_opts());
         assert_eq!(report.offered, 15);
-        assert_eq!(
-            report.completed + report.rejected_overflow + report.rejected_other,
-            report.offered,
-            "every offered request is accounted for"
-        );
+        assert_admission_accounting(&report);
         assert_eq!(
             report.rejected_other, 0,
             "the generator only sends valid requests"
         );
-        assert_eq!(
-            report.solved + report.deadline_expired + report.budget_exhausted + report.cancelled,
-            report.completed
-        );
+        assert_eq!(report.worker_panicked, 0, "no fault plan, no panics");
         assert!(report.solved > 0, "small instances solve under light load");
         assert_eq!(report.latencies_ms.len(), report.completed);
         assert!(report.requests_per_sec > 0.0);
@@ -390,16 +618,28 @@ mod tests {
     }
 
     #[test]
-    fn report_emits_a_valid_solverd_load_section() {
+    fn the_victim_slot_is_cancelled_in_flight() {
+        // 15 requests cover index 11: one victim, one cancel a slot later.
         let report = run(&quick_opts());
-        let doc = Json::parse(&report.to_json().render()).expect("round-trips");
-        validate_bench_doc(&doc).expect("solverd_load/v1 validates");
+        assert_eq!(report.cancels_sent, 1);
+        assert_eq!(
+            report.cancelled, 1,
+            "the victim's only exits are its cancel (immediate) or the 2.5 s \
+             safety deadline; under a healthy pool the cancel always wins"
+        );
     }
 
     #[test]
-    fn overflow_is_measured_under_a_starved_pool() {
-        // 1 worker, 1 queue slot, a fast burst: most of the burst must bounce,
-        // and everything still adds up.
+    fn report_emits_a_valid_solverd_load_section() {
+        let report = run(&quick_opts());
+        let doc = Json::parse(&report.to_json().render()).expect("round-trips");
+        validate_bench_doc(&doc).expect("solverd_load/v2 validates");
+    }
+
+    #[test]
+    fn overflow_is_measured_and_retries_win_some_slots_back() {
+        // 1 worker, 1 queue slot, a fast burst: the burst must bounce, the
+        // retry path must re-offer, and everything still adds up.
         let report = run(&LoadOptions {
             target_rps: 5000.0,
             requests: 12,
@@ -407,11 +647,63 @@ mod tests {
             queue_capacity: 1,
             master_seed: 11,
             remote_addr: None,
+            retries: 3,
+            retry_backoff_ms: 5,
+            fault_seed: None,
         });
         assert!(report.rejected_overflow > 0, "backpressure must trigger");
-        assert_eq!(
-            report.completed + report.rejected_overflow + report.rejected_other,
-            report.offered
+        assert!(report.retries > 0, "rejects must be re-offered first");
+        assert_admission_accounting(&report);
+    }
+
+    #[test]
+    fn retries_can_be_disabled() {
+        let report = run(&LoadOptions {
+            target_rps: 5000.0,
+            requests: 12,
+            workers: 1,
+            queue_capacity: 1,
+            master_seed: 11,
+            remote_addr: None,
+            retries: 0,
+            retry_backoff_ms: 5,
+            fault_seed: None,
+        });
+        assert_eq!(report.retries, 0);
+        assert!(report.rejected_overflow > 0);
+        assert_admission_accounting(&report);
+    }
+
+    #[test]
+    fn a_fault_seed_surfaces_worker_panics_without_breaking_accounting() {
+        // The plan is a pure function of (fault seed, request seed), so some
+        // master seed in this short list provably kills at least one of the
+        // ~5 chaos-leg requests; after the first hit the test is fully
+        // deterministic.
+        let mut seen_panic = false;
+        for master_seed in [3u64, 5, 9, 17] {
+            let report = run(&LoadOptions {
+                target_rps: 500.0,
+                requests: 30,
+                workers: 2,
+                queue_capacity: 32,
+                master_seed,
+                remote_addr: None,
+                retries: 2,
+                retry_backoff_ms: 5,
+                fault_seed: Some(0xFA11_C0DE),
+            });
+            assert_admission_accounting(&report);
+            assert_eq!(report.rejected_other, 0);
+            if report.worker_panicked > 0 {
+                seen_panic = true;
+                break;
+            }
+        }
+        assert!(
+            seen_panic,
+            "a 35% panic plan over ~5 chaos requests per run \
+                             and 4 master seeds must fire at least once"
         );
     }
 }

@@ -32,8 +32,14 @@ pub const COOP_VS_INDEPENDENT_SCHEMA: &str = "coop_vs_independent/v4";
 pub const PROBE_THROUGHPUT_SCHEMA: &str = "probe_throughput/v4";
 /// Current schema tag of the strong-scaling section.
 pub const SCALING_CURVE_SCHEMA: &str = "scaling_curve/v1";
-/// Current schema tag of the solverd load-generation section.
-pub const SOLVERD_LOAD_SCHEMA: &str = "solverd_load/v1";
+/// Current schema tag of the solverd load-generation section.  v2 adds the
+/// fault-tolerance columns — `retries` (queue-full re-offers with backoff,
+/// *not* folded into `rejected_overflow`), `worker_panicked` (typed
+/// `"worker-panicked"` failures under an installed fault plan) and
+/// `cancels_sent` (cancel messages fired at the victim slots) — and widens
+/// the admission invariant to
+/// `completed + rejected_overflow + rejected_other + worker_panicked == offered`.
+pub const SOLVERD_LOAD_SCHEMA: &str = "solverd_load/v2";
 
 fn schema_of(doc: &Json) -> Result<&str, String> {
     doc.get("schema")
@@ -142,13 +148,14 @@ pub fn validate_coop_vs_independent(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
-/// Validate a `solverd_load/v1` section (standalone document or rider): the
+/// Validate a `solverd_load/v2` section (standalone document or rider): the
 /// load-generation report of `bench::loadgen` / the `load_gen` harness.
 ///
 /// Beyond field shape this checks the accounting invariants a correct
-/// service + generator pair must satisfy: every offered request is either
-/// completed or rejected, and every completed request has exactly one
-/// termination class.
+/// service + generator pair must satisfy: every offered request is completed,
+/// rejected, or answered with a typed worker failure; every completed request
+/// has exactly one termination class; and no more requests report a
+/// cancellation than cancel messages were sent.
 pub fn validate_solverd_load(section: &Json) -> Result<(), String> {
     require_schema(section, SOLVERD_LOAD_SCHEMA)?;
     let mode = section
@@ -179,10 +186,12 @@ pub fn validate_solverd_load(section: &Json) -> Result<(), String> {
     let completed = require_u64(section, "completed", "solverd_load")?;
     let overflow = require_u64(section, "rejected_overflow", "solverd_load")?;
     let other = require_u64(section, "rejected_other", "solverd_load")?;
-    if completed + overflow + other != offered {
+    let panicked = require_u64(section, "worker_panicked", "solverd_load")?;
+    require_u64(section, "retries", "solverd_load")?;
+    if completed + overflow + other + panicked != offered {
         return Err(format!(
             "solverd_load: completed {completed} + rejected_overflow {overflow} \
-             + rejected_other {other} != offered {offered}"
+             + rejected_other {other} + worker_panicked {panicked} != offered {offered}"
         ));
     }
     let solved = require_u64(section, "solved", "solverd_load")?;
@@ -193,6 +202,13 @@ pub fn validate_solverd_load(section: &Json) -> Result<(), String> {
         return Err(format!(
             "solverd_load: terminations {} != completed {completed}",
             solved + deadline + budget + cancelled
+        ));
+    }
+    let cancels_sent = require_u64(section, "cancels_sent", "solverd_load")?;
+    if cancelled > cancels_sent {
+        return Err(format!(
+            "solverd_load: cancelled {cancelled} > cancels_sent {cancels_sent} \
+             — the service cannot cancel requests nobody asked to cancel"
         ));
     }
     let latency = section
@@ -446,16 +462,19 @@ mod tests {
             queue_capacity: 16,
             target_rps: 20.0,
             offered: 10,
-            completed: 8,
+            completed: 7,
             rejected_overflow: 2,
             rejected_other: 0,
-            solved: 7,
+            worker_panicked: 1,
+            retries: 3,
+            cancels_sent: 1,
+            solved: 5,
             deadline_expired: 1,
             budget_exhausted: 0,
-            cancelled: 0,
+            cancelled: 1,
             elapsed_s: 0.6,
             requests_per_sec: 13.3,
-            latencies_ms: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            latencies_ms: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
             master_seed: 7,
         }
         .to_json()
@@ -527,7 +546,7 @@ mod tests {
 
         let load = sample_load_section();
         let parsed = Json::parse(&load.render()).expect("load section parses");
-        validate_bench_doc(&parsed).expect("solverd_load/v1 validates");
+        validate_bench_doc(&parsed).expect("solverd_load/v2 validates");
     }
 
     /// The load validator enforces the admission/termination accounting, not
@@ -544,9 +563,19 @@ mod tests {
         assert!(poke("completed", Json::from(5u64))
             .expect_err("admission mismatch")
             .contains("offered"));
+        assert!(poke("worker_panicked", Json::from(4u64))
+            .expect_err("panics count toward admission")
+            .contains("worker_panicked"));
         assert!(poke("solved", Json::from(99u64))
             .expect_err("termination mismatch")
             .contains("terminations"));
+        assert!(poke("cancels_sent", Json::from(0u64))
+            .expect_err("cancelled must not exceed cancels_sent")
+            .contains("cancels_sent"));
+        assert!(
+            poke("retries", Json::from("lots")).is_err(),
+            "retries must be an unsigned integer"
+        );
         assert!(poke("mode", Json::from("carrier-pigeon"))
             .expect_err("bad mode")
             .contains("mode"));
@@ -575,6 +604,7 @@ mod tests {
             ("probe_throughput/v3", PROBE_THROUGHPUT_SCHEMA),
             ("scaling_curve/v0", SCALING_CURVE_SCHEMA),
             ("solverd_load/v0", SOLVERD_LOAD_SCHEMA),
+            ("solverd_load/v1", SOLVERD_LOAD_SCHEMA),
         ] {
             let doc = Json::object(vec![("schema", Json::from(stale))]);
             let err = validate_bench_doc(&doc).expect_err(stale);

@@ -36,6 +36,7 @@
 //! [`CooperativeRunner::run_threads`] trades determinism for real wall-clock
 //! parallelism (exchanges are asynchronous there).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -474,104 +475,141 @@ impl CooperativeRunner {
                     let spec = self.spec.clone();
                     let pool = &pool;
                     scope.spawn(move || {
-                        let mut engine = spec.build_engine(master_seed, rank);
-                        let budget = spec.config.max_iterations;
-                        let mut iterations = 0u64;
-                        let mut ops = 0u64;
-                        let mut seen_epoch = 0u64;
-                        'walk: while iterations < budget {
-                            let block = interval.min(budget - iterations);
-                            for _ in 0..block {
-                                iterations += 1;
-                                if engine.step() == StepOutcome::Solved {
-                                    let mut guard =
-                                        pool.winner.lock().expect("winner mutex poisoned");
-                                    if guard.is_none() {
-                                        *guard =
-                                            Some((rank, engine.problem().configuration().to_vec()));
+                        // Panic isolation: a dying walk yields an empty report
+                        // (zero iterations, default stats) and the cooperative
+                        // race continues on the survivors — never an abort.
+                        catch_unwind(AssertUnwindSafe(move || {
+                            let mut engine = spec.build_engine(master_seed, rank);
+                            let budget = spec.config.max_iterations;
+                            let mut iterations = 0u64;
+                            let mut ops = 0u64;
+                            let mut seen_epoch = 0u64;
+                            'walk: while iterations < budget {
+                                let block = interval.min(budget - iterations);
+                                for _ in 0..block {
+                                    iterations += 1;
+                                    if engine.step() == StepOutcome::Solved {
+                                        let mut guard = pool
+                                            .winner
+                                            .lock()
+                                            .unwrap_or_else(|poison| poison.into_inner());
+                                        if guard.is_none() {
+                                            *guard = Some((
+                                                rank,
+                                                engine.problem().configuration().to_vec(),
+                                            ));
+                                        }
+                                        drop(guard);
+                                        pool.found.store(true, Ordering::SeqCst);
+                                        break 'walk;
                                     }
-                                    drop(guard);
-                                    pool.found.store(true, Ordering::SeqCst);
-                                    break 'walk;
                                 }
-                            }
-                            if pool.found.load(Ordering::SeqCst) {
-                                break;
-                            }
+                                if pool.found.load(Ordering::SeqCst) {
+                                    break;
+                                }
 
-                            // Exchange: publish if better than the pool, else adopt
-                            // the pool's elite when it is better than us.
-                            ops += 1;
-                            let op = pool.exchange_ops.fetch_add(1, Ordering::SeqCst) + 1;
-                            let my_cost = engine.current_cost();
-                            if my_cost < pool.best_cost.load(Ordering::SeqCst) {
-                                let mut guard = pool.best.lock().expect("elite mutex poisoned");
-                                // Re-check under the lock: another walk may have
-                                // published a better elite in the meantime.
+                                // Exchange: publish if better than the pool, else adopt
+                                // the pool's elite when it is better than us.
+                                ops += 1;
+                                let op = pool.exchange_ops.fetch_add(1, Ordering::SeqCst) + 1;
+                                let my_cost = engine.current_cost();
                                 if my_cost < pool.best_cost.load(Ordering::SeqCst) {
-                                    pool.best_cost.store(my_cost, Ordering::SeqCst);
-                                    *guard = Some(engine.problem().configuration().to_vec());
-                                    pool.last_improvement.store(op, Ordering::SeqCst);
-                                }
-                            } else if pool.best_cost.load(Ordering::SeqCst) < my_cost {
-                                let elite = pool.best.lock().expect("elite mutex poisoned").clone();
-                                if let Some(elite) = elite {
-                                    let _ = engine.inject_candidate(&elite, my_cost);
-                                }
-                            }
-
-                            // Stagnation: no pool improvement for `limit` exchange
-                            // operations *per walk* → bump the restart epoch (one
-                            // walk wins the CAS; everyone observes the new epoch).
-                            if let Some(limit) = stagnation_limit {
-                                let since =
-                                    op.saturating_sub(pool.last_improvement.load(Ordering::SeqCst));
-                                if since >= limit.saturating_mul(walks as u64) {
-                                    let current = pool.epoch.load(Ordering::SeqCst);
-                                    if pool
-                                        .epoch
-                                        .compare_exchange(
-                                            current,
-                                            current + 1,
-                                            Ordering::SeqCst,
-                                            Ordering::SeqCst,
-                                        )
-                                        .is_ok()
-                                    {
-                                        // Reset the pool so the stale elite is not
-                                        // re-adopted right after the restart.
-                                        let mut guard =
-                                            pool.best.lock().expect("elite mutex poisoned");
-                                        pool.best_cost.store(u64::MAX, Ordering::SeqCst);
-                                        *guard = None;
+                                    let mut guard = pool
+                                        .best
+                                        .lock()
+                                        .unwrap_or_else(|poison| poison.into_inner());
+                                    // Re-check under the lock: another walk may have
+                                    // published a better elite in the meantime.
+                                    if my_cost < pool.best_cost.load(Ordering::SeqCst) {
+                                        pool.best_cost.store(my_cost, Ordering::SeqCst);
+                                        *guard = Some(engine.problem().configuration().to_vec());
                                         pool.last_improvement.store(op, Ordering::SeqCst);
                                     }
+                                } else if pool.best_cost.load(Ordering::SeqCst) < my_cost {
+                                    let elite = pool
+                                        .best
+                                        .lock()
+                                        .unwrap_or_else(|poison| poison.into_inner())
+                                        .clone();
+                                    if let Some(elite) = elite {
+                                        let _ = engine.inject_candidate(&elite, my_cost);
+                                    }
+                                }
+
+                                // Stagnation: no pool improvement for `limit` exchange
+                                // operations *per walk* → bump the restart epoch (one
+                                // walk wins the CAS; everyone observes the new epoch).
+                                if let Some(limit) = stagnation_limit {
+                                    let since = op.saturating_sub(
+                                        pool.last_improvement.load(Ordering::SeqCst),
+                                    );
+                                    if since >= limit.saturating_mul(walks as u64) {
+                                        let current = pool.epoch.load(Ordering::SeqCst);
+                                        if pool
+                                            .epoch
+                                            .compare_exchange(
+                                                current,
+                                                current + 1,
+                                                Ordering::SeqCst,
+                                                Ordering::SeqCst,
+                                            )
+                                            .is_ok()
+                                        {
+                                            // Reset the pool so the stale elite is not
+                                            // re-adopted right after the restart.
+                                            let mut guard = pool
+                                                .best
+                                                .lock()
+                                                .unwrap_or_else(|poison| poison.into_inner());
+                                            pool.best_cost.store(u64::MAX, Ordering::SeqCst);
+                                            *guard = None;
+                                            pool.last_improvement.store(op, Ordering::SeqCst);
+                                        }
+                                    }
+                                }
+                                let epoch = pool.epoch.load(Ordering::SeqCst);
+                                if epoch != seen_epoch {
+                                    seen_epoch = epoch;
+                                    engine.schedule_restart();
                                 }
                             }
-                            let epoch = pool.epoch.load(Ordering::SeqCst);
-                            if epoch != seen_epoch {
-                                seen_epoch = epoch;
-                                engine.schedule_restart();
+                            WalkReport {
+                                rank,
+                                iterations,
+                                exchange_ops: ops,
+                                stats: engine.stats().clone(),
                             }
-                        }
-                        WalkReport {
+                        }))
+                        .unwrap_or_else(|_| WalkReport {
                             rank,
-                            iterations,
-                            exchange_ops: ops,
-                            stats: engine.stats().clone(),
-                        }
+                            iterations: 0,
+                            exchange_ops: 0,
+                            stats: SearchStats::default(),
+                        })
                     })
                 })
                 .collect();
             let mut reports: Vec<WalkReport> = handles
                 .into_iter()
-                .map(|h| h.join().expect("walk thread panicked"))
+                .enumerate()
+                .map(|(rank, h)| {
+                    h.join().unwrap_or_else(|_| WalkReport {
+                        rank,
+                        iterations: 0,
+                        exchange_ops: 0,
+                        stats: SearchStats::default(),
+                    })
+                })
                 .collect();
             reports.sort_by_key(|r| r.rank);
             reports
         });
 
-        let winner_record = pool.winner.lock().expect("winner mutex poisoned").clone();
+        let winner_record = pool
+            .winner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone();
         let winner = winner_record.as_ref().map(|(rank, _)| *rank);
         CoopResult {
             solution: winner_record.map(|(_, sol)| sol),

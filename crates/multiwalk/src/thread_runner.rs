@@ -6,13 +6,14 @@
 //! (the flag plays the role of the MPI "solution found" message) and stops as soon as
 //! it is raised.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use std::sync::Mutex;
 
-use adaptive_search::termination::{AnyStop, DeadlineStop, FlagStop};
+use adaptive_search::termination::{AnyStop, CancelToken, DeadlineStop, FlagStop, StopCondition};
 use adaptive_search::{SolveResult, SolveStatus};
 
 use crate::walker::WalkSpec;
@@ -47,6 +48,15 @@ impl MultiWalkResult {
     /// unit used by the virtual cluster).
     pub fn winner_iterations(&self) -> Option<u64> {
         self.winner.map(|w| self.walk_results[w].stats.iterations)
+    }
+
+    /// How many walks died to an isolated panic (their results are synthetic
+    /// [`SolveResult::panicked`] placeholders).
+    pub fn panicked_walks(&self) -> usize {
+        self.walk_results
+            .iter()
+            .filter(|r| r.status == SolveStatus::Panicked)
+            .count()
     }
 }
 
@@ -97,6 +107,25 @@ impl ThreadRunner {
         master_seed: u64,
         deadline: Option<Instant>,
     ) -> MultiWalkResult {
+        self.run_with_controls(master_seed, deadline, None)
+    }
+
+    /// The fully-controlled fan-out: an optional deadline *and* an optional
+    /// [`CancelToken`], with per-walk panic isolation.
+    ///
+    /// * Every walk polls the shared first-solution flag, the deadline and the
+    ///   cancel token at its stop-check interval; whichever fires first ends
+    ///   the walk.
+    /// * A panicking walk (a buggy or fault-injected model) is caught with
+    ///   `catch_unwind` and costs only itself: its slot in `walk_results`
+    ///   becomes a synthetic [`SolveResult::panicked`] placeholder and the
+    ///   surviving walks' race is undisturbed.  The runner never aborts.
+    pub fn run_with_controls(
+        &self,
+        master_seed: u64,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> MultiWalkResult {
         let start = Instant::now();
         let found = Arc::new(AtomicBool::new(false));
         let winner: WinnerCell = Arc::new(Mutex::new(None));
@@ -109,24 +138,33 @@ impl ThreadRunner {
                     let spec = self.spec.clone();
                     let found = found.clone();
                     let winner = winner.clone();
+                    let cancel = cancel.cloned();
                     scope.spawn(move || {
-                        let mut engine = spec.build_engine(master_seed, rank);
-                        let flag = Box::new(FlagStop::new(found.clone()));
-                        let result = match deadline {
-                            Some(at) => {
-                                let mut stop =
-                                    AnyStop::new(vec![flag, Box::new(DeadlineStop::at(at))]);
-                                engine.solve_until(&mut stop)
+                        let walk_start = Instant::now();
+                        // The catch region covers engine construction and the
+                        // whole solve; winner recording stays outside it so a
+                        // poisoned winner mutex cannot be blamed on this walk.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let mut engine = spec.build_engine(master_seed, rank);
+                            let mut conditions: Vec<Box<dyn StopCondition>> =
+                                vec![Box::new(FlagStop::new(found.clone()))];
+                            if let Some(at) = deadline {
+                                conditions.push(Box::new(DeadlineStop::at(at)));
                             }
-                            None => {
-                                let mut stop = *flag;
-                                engine.solve_until(&mut stop)
+                            if let Some(token) = &cancel {
+                                conditions.push(Box::new(token.stop_condition()));
                             }
+                            engine.solve_until(&mut AnyStop::new(conditions))
+                        }));
+                        let result = match outcome {
+                            Ok(result) => result,
+                            Err(_) => SolveResult::panicked(walk_start.elapsed()),
                         };
                         if result.status == SolveStatus::Solved {
                             // First writer wins; later solvers keep their result but
                             // do not overwrite the winner record.
-                            let mut guard = winner.lock().expect("winner mutex poisoned");
+                            let mut guard =
+                                winner.lock().unwrap_or_else(|poison| poison.into_inner());
                             if guard.is_none() {
                                 *guard = Some((
                                     rank,
@@ -135,18 +173,26 @@ impl ThreadRunner {
                             }
                             found.store(true, Ordering::Relaxed);
                         }
-                        (rank, result)
+                        result
                     })
                 })
                 .collect();
-            for handle in handles {
-                let (rank, result) = handle.join().expect("walk thread panicked");
-                walk_results[rank] = Some(result);
+            for (rank, handle) in handles.into_iter().enumerate() {
+                // A join error is unreachable while catch_unwind covers the
+                // walk body; treat it as one more dead walk, never an abort.
+                walk_results[rank] = Some(
+                    handle
+                        .join()
+                        .unwrap_or_else(|_| SolveResult::panicked(start.elapsed())),
+                );
             }
         });
 
         let elapsed = start.elapsed();
-        let winner_record = winner.lock().expect("winner mutex poisoned").clone();
+        let winner_record = winner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone();
         MultiWalkResult {
             solution: winner_record.as_ref().map(|(_, sol)| sol.clone()),
             winner: winner_record.map(|(rank, _)| rank),
@@ -187,14 +233,25 @@ impl ThreadRunner {
                 .map(|rank| {
                     let spec = self.spec.clone();
                     scope.spawn(move || {
-                        let mut engine = spec.build_engine(master_seed, rank);
-                        (rank, engine.solve())
+                        let walk_start = Instant::now();
+                        // Panic isolation preserves determinism: a fault that
+                        // is a function of (spec, master_seed, rank) kills the
+                        // same walk in every replay, and the placeholder's
+                        // u64::MAX costs keep it out of the winner fold.
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut engine = spec.build_engine(master_seed, rank);
+                            engine.solve()
+                        }))
+                        .unwrap_or_else(|_| SolveResult::panicked(walk_start.elapsed()))
                     })
                 })
                 .collect();
-            for handle in handles {
-                let (rank, result) = handle.join().expect("walk thread panicked");
-                walk_results[rank] = Some(result);
+            for (rank, handle) in handles.into_iter().enumerate() {
+                walk_results[rank] = Some(
+                    handle
+                        .join()
+                        .unwrap_or_else(|_| SolveResult::panicked(start.elapsed())),
+                );
             }
         });
 
@@ -376,6 +433,29 @@ mod tests {
             .walk_results
             .iter()
             .all(|r| r.status == SolveStatus::ExternallyStopped));
+    }
+
+    #[test]
+    fn cancel_token_stops_a_fanout_mid_flight() {
+        // Order-24 CAP with an unbounded budget only ends because the token is
+        // raised from outside the runner — the service-side cancellation path.
+        let start = Instant::now();
+        let runner = ThreadRunner::new(WalkSpec::costas(24), 2);
+        let token = CancelToken::new();
+        let signal = token.clone();
+        let signaller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            signal.cancel();
+        });
+        let result = runner.run_with_controls(1, None, Some(&token));
+        signaller.join().unwrap();
+        assert!(start.elapsed() < Duration::from_secs(30), "cancel ignored");
+        assert!(!result.solved());
+        assert!(result
+            .walk_results
+            .iter()
+            .all(|r| r.status == SolveStatus::ExternallyStopped));
+        assert!(token.is_cancelled());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! * [`proto`] — the wire protocol: request decoding (via
 //!   `runtime_stats::json::Json::parse`), response rendering, structured
 //!   reject classes (`queue-full`, `unknown-problem`, `invalid-request`,
-//!   `parse`).
+//!   `oversized`, `parse`), the `{"cancel":"<id>"}` control message and the
+//!   typed `"worker-panicked"` failure response.
 //! * [`service`] — admission control, backpressure, deadline enforcement and
 //!   the single-engine vs multi-walk fan-out policy.  All solve execution goes
 //!   through [`adaptive_search::SolveRequest`], the same audited API the
@@ -18,16 +19,31 @@
 //!   same computation.
 //! * [`connection`] — pumping one byte stream (stdin or a TCP socket) through
 //!   a service: reader thread submits, writer thread emits responses in
-//!   completion order.
+//!   completion order, with a per-line byte cap and (TCP) read timeout.
+//!
+//! ## Fault tolerance
+//!
+//! The service is supervised: request execution runs under `catch_unwind`
+//! (a panicking cost model costs the request a typed failure response, never
+//! the worker), dead worker threads are respawned by a supervisor, and every
+//! admitted request carries a [`adaptive_search::CancelToken`] so a
+//! `{"cancel":"<id>"}` line stops a queued *or in-flight* solve mid-search
+//! with `"termination":"cancelled"`.  The invariant throughout: **every
+//! admitted request gets exactly one typed response** — the service answers,
+//! it never aborts.
 //!
 //! The `solverd` binary wires these together; `bench`'s `load_gen` binary
-//! drives a service at a configurable request rate and records throughput and
-//! latency percentiles into the `solverd_load/v1` artifact.
+//! drives a service at a configurable request rate (with bounded retry on
+//! backpressure and optional cancel traffic) and records throughput and
+//! latency percentiles into the `solverd_load/v2` artifact.
 
 pub mod connection;
 pub mod proto;
 pub mod service;
 
 pub use connection::serve_connection;
-pub use proto::{parse_request, Reject, RejectReason, WireRequest, DEFAULT_BUDGET, MAX_WALKS};
+pub use proto::{
+    parse_message, parse_request, Reject, RejectReason, WireMessage, WireRequest, DEFAULT_BUDGET,
+    MAX_WALKS,
+};
 pub use service::{Service, ServiceConfig};

@@ -101,6 +101,12 @@ fn serve_tcp(addr: &str, config: ServiceConfig) -> std::io::Result<()> {
                 continue;
             }
         };
+        // A client that goes silent cannot pin this connection thread: the
+        // timeout surfaces as a read error and the connection winds down like
+        // EOF (admitted work still completes).
+        if let Err(e) = stream.set_read_timeout(service.config().read_timeout) {
+            eprintln!("solverd: set_read_timeout failed: {e}");
+        }
         let service = Arc::clone(&service);
         std::thread::spawn(move || {
             let reader = match stream.try_clone() {

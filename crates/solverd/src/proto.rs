@@ -36,11 +36,35 @@
 //! ```
 //!
 //! with `reason` one of `"queue-full"`, `"unknown-problem"`,
-//! `"invalid-request"`; and protocol errors (the line was not a usable
-//! request, so `id` may be unrecoverable):
+//! `"invalid-request"`, `"oversized"`; and protocol errors (the line was not
+//! a usable request, so `id` may be unrecoverable):
 //!
 //! ```json
 //! {"id":"","status":"error","reason":"parse","detail":"offset 3: ..."}
+//! ```
+//!
+//! ## Cancellation
+//!
+//! A line of the shape `{"cancel":"r1"}` (exactly one field) is a *cancel
+//! message*, not a solve request: it asks the service to cancel the in-flight
+//! or queued request whose `id` is `"r1"`.  It is answered immediately with
+//!
+//! ```json
+//! {"id":"r1","status":"cancel-ack","found":true}
+//! ```
+//!
+//! where `found` says whether such a request was live.  The cancelled request
+//! itself still receives its own response line (`"termination":"cancelled"`)
+//! — a cancel never silently swallows an admitted request's answer.
+//!
+//! ## Worker failure
+//!
+//! If request execution dies (a panicking cost model, an injected fault), the
+//! admitted request is still answered — with a typed failure rather than a
+//! torn connection:
+//!
+//! ```json
+//! {"id":"r1","status":"failed","reason":"worker-panicked","detail":"..."}
 //! ```
 
 use std::time::Duration;
@@ -66,6 +90,8 @@ pub enum RejectReason {
     /// The request was well-formed JSON but semantically unusable
     /// (missing/ill-typed field, invalid warm start, `walks` out of range…).
     InvalidRequest,
+    /// The line exceeded the connection's byte cap before its newline.
+    Oversized,
     /// The line was not valid JSON at all.
     Parse,
 }
@@ -77,6 +103,7 @@ impl RejectReason {
             RejectReason::QueueFull => "queue-full",
             RejectReason::UnknownProblem => "unknown-problem",
             RejectReason::InvalidRequest => "invalid-request",
+            RejectReason::Oversized => "oversized",
             RejectReason::Parse => "parse",
         }
     }
@@ -100,6 +127,16 @@ impl Reject {
             reason,
             detail: detail.into(),
         }
+    }
+
+    /// The reject for a line that blew past the connection's byte cap.  The
+    /// id is unrecoverable (the line was never parsed), so it echoes as `""`.
+    pub fn oversized(max_line_bytes: usize) -> Self {
+        Reject::new(
+            "",
+            RejectReason::Oversized,
+            format!("request line exceeds {max_line_bytes} bytes; line dropped"),
+        )
     }
 
     /// Render the response line for this reject.
@@ -140,6 +177,82 @@ pub struct WireRequest {
     pub request: SolveRequest,
     /// Explicit fan-out width; `None` lets the service decide.
     pub walks: Option<usize>,
+}
+
+/// One decoded protocol line: a solve request or a control message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// An ordinary solve request.
+    Solve(WireRequest),
+    /// `{"cancel":"<id>"}` — cancel the live request with that id.
+    Cancel {
+        /// The id of the request to cancel.
+        target: String,
+    },
+}
+
+/// Decode one protocol line: a `{"cancel":...}` control message or a solve
+/// request (see [`parse_request`]).
+pub fn parse_message(line: &str) -> Result<WireMessage, Reject> {
+    // Cheap pre-screen so ordinary requests don't pay a second parse.
+    if line.contains("\"cancel\"") {
+        let doc = Json::parse(line).map_err(|e| {
+            Reject::new(
+                "",
+                RejectReason::Parse,
+                format!("offset {}: {}", e.offset, e.message),
+            )
+        })?;
+        if let Json::Object(fields) = &doc {
+            if fields.contains_key("cancel") {
+                // A cancel message is exactly one field: mixing it into a
+                // solve request would make "which request is this?" ambiguous.
+                if fields.len() != 1 {
+                    return Err(Reject::new(
+                        "",
+                        RejectReason::InvalidRequest,
+                        "a cancel message must have exactly one field: {\"cancel\":\"<id>\"}",
+                    ));
+                }
+                let target = doc
+                    .get("cancel")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        Reject::new(
+                            "",
+                            RejectReason::InvalidRequest,
+                            "\"cancel\" must be a request-id string",
+                        )
+                    })?
+                    .to_string();
+                return Ok(WireMessage::Cancel { target });
+            }
+        }
+    }
+    parse_request(line).map(WireMessage::Solve)
+}
+
+/// Render the acknowledgement line for a cancel message.  `found` reports
+/// whether a live (queued or in-flight) request with that id existed.
+pub fn render_cancel_ack(target: &str, found: bool) -> String {
+    Json::object(vec![
+        ("id", Json::from(target)),
+        ("status", Json::from("cancel-ack")),
+        ("found", Json::from(found)),
+    ])
+    .render()
+}
+
+/// Render the typed failure line for a request whose execution panicked.
+/// The service answers it — the worker is respawned, the connection lives.
+pub fn render_worker_panicked(id: &str, detail: &str) -> String {
+    Json::object(vec![
+        ("id", Json::from(id)),
+        ("status", Json::from("failed")),
+        ("reason", Json::from("worker-panicked")),
+        ("detail", Json::from(detail)),
+    ])
+    .render()
 }
 
 /// Fields a request line may carry; anything else is an invalid request.
@@ -403,6 +516,59 @@ mod tests {
         )
             .into();
         assert_eq!(r.reason, RejectReason::InvalidRequest);
+    }
+
+    #[test]
+    fn cancel_messages_parse_and_solve_requests_pass_through() {
+        assert_eq!(
+            parse_message(r#"{"cancel":"r7"}"#).expect("cancel parses"),
+            WireMessage::Cancel {
+                target: "r7".into()
+            }
+        );
+        // A solve request flows through parse_message unchanged.
+        let msg = parse_message(r#"{"id":"a","problem":"costas","n":10}"#).expect("parses");
+        assert!(matches!(msg, WireMessage::Solve(ref w) if w.id == "a"));
+        // Mixing cancel into a request is ambiguous → invalid.
+        let err = parse_message(r#"{"cancel":"r7","problem":"costas","n":8}"#)
+            .expect_err("mixed message");
+        assert_eq!(err.reason, RejectReason::InvalidRequest);
+        // A non-string target is invalid, not a panic.
+        let err = parse_message(r#"{"cancel":12}"#).expect_err("non-string id");
+        assert_eq!(err.reason, RejectReason::InvalidRequest);
+        // A request whose *value* merely contains the word "cancel" is fine.
+        let msg = parse_message(r#"{"id":"cancel","problem":"costas","n":10}"#);
+        assert!(matches!(msg, Ok(WireMessage::Solve(_))));
+    }
+
+    #[test]
+    fn cancel_ack_and_failure_lines_are_typed_and_parse_back() {
+        let ack = Json::parse(&render_cancel_ack("r7", true)).expect("valid JSON");
+        assert_eq!(ack.get("id").and_then(Json::as_str), Some("r7"));
+        assert_eq!(ack.get("status").and_then(Json::as_str), Some("cancel-ack"));
+        assert_eq!(ack.get("found").and_then(Json::as_bool), Some(true));
+
+        let failed = Json::parse(&render_worker_panicked("r8", "boom")).expect("valid JSON");
+        assert_eq!(failed.get("status").and_then(Json::as_str), Some("failed"));
+        assert_eq!(
+            failed.get("reason").and_then(Json::as_str),
+            Some("worker-panicked")
+        );
+        assert_eq!(failed.get("id").and_then(Json::as_str), Some("r8"));
+
+        let oversized = Json::parse(&Reject::oversized(1024).render()).expect("valid JSON");
+        assert_eq!(
+            oversized.get("status").and_then(Json::as_str),
+            Some("rejected")
+        );
+        assert_eq!(
+            oversized.get("reason").and_then(Json::as_str),
+            Some("oversized")
+        );
+        assert!(oversized
+            .get("detail")
+            .and_then(Json::as_str)
+            .is_some_and(|d| d.contains("1024")));
     }
 
     #[test]

@@ -80,6 +80,7 @@ fn mixed_batch_through_the_line_protocol() {
         workers: 1,
         queue_capacity: 1,
         fanout_walks: 1,
+        ..ServiceConfig::default()
     });
 
     // A request the single worker will hold for a while: a hard instance with
@@ -158,6 +159,75 @@ fn mixed_batch_through_the_line_protocol() {
     assert_eq!(late.get("iterations").and_then(Json::as_u64), Some(0));
 }
 
+/// Real in-flight cancellation through the line protocol: a `{"cancel":...}`
+/// line stops an unbounded solve mid-search (`"termination":"cancelled"`),
+/// and the freed worker immediately picks up the queued request behind it.
+#[test]
+fn cancelling_an_in_flight_solve_frees_the_worker_for_queued_work() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        fanout_walks: 1,
+        ..ServiceConfig::default()
+    });
+
+    // `long` would run forever: max budget, no deadline — only a cancel can
+    // end it.  `next` queues behind it on the single worker.
+    let long = r#"{"id":"long","problem":"costas","n":22,"budget":18446744073709551615,"seed":9}"#;
+    let reader = PacedReader::new(vec![
+        (Duration::ZERO, &format!("{long}\n")),
+        // Let the worker provably pick `long` up and start iterating...
+        (
+            Duration::from_millis(300),
+            "{\"id\":\"next\",\"problem\":\"costas\",\"n\":10,\"seed\":42}\n",
+        ),
+        // ...then cancel it out from under the worker.
+        (Duration::from_millis(200), "{\"cancel\":\"long\"}\n"),
+    ]);
+
+    let start = std::time::Instant::now();
+    let mut output = Vec::new();
+    let submitted = serve_connection(&service, BufReader::new(reader), &mut output);
+    let elapsed = start.elapsed();
+    assert_eq!(submitted, 3);
+    let responses = parse_lines(&output);
+    assert_eq!(responses.len(), 3, "one response per line, cancel included");
+
+    // Two lines carry id "long": the cancel-ack and the solve's own response.
+    let long_lines: Vec<&Json> = responses
+        .iter()
+        .filter(|doc| doc.get("id").and_then(Json::as_str) == Some("long"))
+        .collect();
+    assert_eq!(long_lines.len(), 2, "cancel-ack plus the solve's answer");
+    let ack = long_lines
+        .iter()
+        .find(|doc| field(doc, "status") == "cancel-ack")
+        .expect("cancel is acknowledged");
+    assert_eq!(ack.get("found").and_then(Json::as_bool), Some(true));
+    let solve = long_lines
+        .iter()
+        .find(|doc| field(doc, "status") == "ok")
+        .expect("the cancelled request still gets its typed answer");
+    assert_eq!(field(solve, "termination"), "cancelled");
+    assert_eq!(solve.get("solution"), Some(&Json::Null));
+    assert!(
+        solve.get("iterations").and_then(Json::as_u64).unwrap() > 0,
+        "the solve was genuinely in flight when cancelled"
+    );
+
+    // The freed worker served the queued request to completion.
+    let next = by_id(&responses, "next");
+    assert_eq!(field(next, "status"), "ok");
+    assert_eq!(field(next, "termination"), "solved");
+
+    // The whole exchange ends promptly after the cancel (~500 ms of pacing
+    // plus the n=10 solve) — nothing waited on a budget that never runs out.
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "cancellation must actually stop the unbounded solve (took {elapsed:?})"
+    );
+}
+
 /// Warm starts ride the same protocol: a known Costas array injected as the
 /// start candidate solves with zero search iterations.
 #[test]
@@ -189,6 +259,7 @@ fn service_path_matches_direct_solve_registry_bit_for_bit() {
         workers: 2,
         queue_capacity: 16,
         fanout_walks: 4,
+        ..ServiceConfig::default()
     });
     let (tx, rx) = mpsc::channel();
     let cases: &[(&str, usize, u64, u64)] = &[
