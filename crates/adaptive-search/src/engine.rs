@@ -56,6 +56,107 @@ impl InjectOutcome {
     }
 }
 
+/// A complete, serializable image of one engine's search state.
+///
+/// Everything [`Engine::step`] reads or writes is captured: the random stream, the
+/// current and best configurations, the statistics, the Tabu horizons, and the
+/// carried culprit-selection cache (including the `errors` scratch vector, which the
+/// fast selection path reads without recomputing when the problem maintains no
+/// [`PermutationProblem::cached_errors`]).  Restoring through
+/// [`Engine::from_snapshot`] onto a freshly built problem instance yields an engine
+/// whose subsequent trajectory is bit-for-bit identical to the original's — the
+/// foundation of the campaign checkpoint/resume machinery in `multiwalk`.
+///
+/// The snapshot does *not* carry the problem's incremental evaluation state (conflict
+/// tables, occupancy rows, …): [`PermutationProblem::set_configuration`] rebuilds it
+/// deterministically from the configuration on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Xoshiro256** state words (never all zero).
+    pub rng_state: [u64; 4],
+    /// Current configuration (a permutation of `1..=n`).
+    pub configuration: Vec<usize>,
+    /// Statistics accumulated so far.
+    pub stats: SearchStats,
+    /// Best cost seen so far.
+    pub best_cost: u64,
+    /// Configuration attaining `best_cost`.
+    pub best_config: Vec<usize>,
+    /// Iterations since the last policy restart.
+    pub iterations_since_restart: u64,
+    /// Tabu marks since the last reset (the `RL` counter).
+    pub marked_since_reset: usize,
+    /// A coordinated restart is pending at the next step boundary.
+    pub restart_pending: bool,
+    /// Per-variable Tabu freeze horizons.
+    pub tabu_horizons: Vec<u64>,
+    /// Pending Tabu expirations `(var, expiry)` in expiry order.
+    pub freeze_log: Vec<(usize, u64)>,
+    /// The carried culprit-selection state is exact.
+    pub select_cache_valid: bool,
+    /// Iteration at which the carried selection state was computed.
+    pub select_cache_now: u64,
+    /// Running maximum error at the last selection.
+    pub culprit_best_err: u64,
+    /// Non-Tabu variables attaining `culprit_best_err`, ascending.
+    pub culprit_ties: Vec<usize>,
+    /// Error-vector scratch; read by the fast selection path for problems without a
+    /// maintained error cache.  Empty or length `n`.
+    pub errors: Vec<u64>,
+}
+
+/// Why an [`EngineSnapshot`] could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A per-variable field has the wrong length for the problem instance.
+    SizeMismatch {
+        /// Which snapshot field.
+        field: &'static str,
+        /// Length the problem requires.
+        expected: usize,
+        /// Length found in the snapshot.
+        found: usize,
+    },
+    /// The RNG state words were all zero (an unreachable Xoshiro256** state).
+    BadRngState,
+    /// The stored configuration is not a permutation of `1..=n`.
+    NotAPermutation,
+    /// A variable index inside the snapshot is out of range for the instance.
+    VariableOutOfRange {
+        /// Which snapshot field.
+        field: &'static str,
+        /// The offending variable index.
+        var: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::SizeMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot field `{field}` has length {found}, expected {expected}"
+            ),
+            SnapshotError::BadRngState => write!(f, "snapshot RNG state is all zero"),
+            SnapshotError::NotAPermutation => {
+                write!(f, "snapshot configuration is not a permutation of 1..=n")
+            }
+            SnapshotError::VariableOutOfRange { field, var } => {
+                write!(
+                    f,
+                    "snapshot field `{field}` references variable {var} out of range"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// One Adaptive Search walk over one [`PermutationProblem`].
 pub struct Engine<P: PermutationProblem> {
     problem: P,
@@ -129,6 +230,112 @@ impl<P: PermutationProblem> Engine<P> {
         };
         engine.randomize_configuration();
         engine
+    }
+
+    /// Capture a complete image of the search state (see [`EngineSnapshot`]).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            rng_state: self.rng.state(),
+            configuration: self.problem.configuration().to_vec(),
+            stats: self.stats.clone(),
+            best_cost: self.best_cost,
+            best_config: self.best_config.clone(),
+            iterations_since_restart: self.iterations_since_restart,
+            marked_since_reset: self.marked_since_reset,
+            restart_pending: self.restart_pending,
+            tabu_horizons: self.tabu.horizons().to_vec(),
+            freeze_log: self.freeze_log.iter().copied().collect(),
+            select_cache_valid: self.select_cache_valid,
+            select_cache_now: self.select_cache_now,
+            culprit_best_err: self.culprit_best_err,
+            culprit_ties: self.culprit_ties.clone(),
+            errors: self.errors.clone(),
+        }
+    }
+
+    /// Rebuild an engine from a snapshot, onto a freshly constructed instance of the
+    /// same problem.  The problem's incremental evaluation state is rebuilt via
+    /// [`PermutationProblem::set_configuration`]; every other field is restored
+    /// verbatim, so the resumed engine's trajectory is bit-for-bit identical to the
+    /// snapshotted one's.
+    ///
+    /// # Errors
+    /// Returns a typed [`SnapshotError`] when the snapshot does not fit the problem
+    /// instance (wrong lengths, non-permutation configuration, impossible RNG state,
+    /// out-of-range variable indices) — corrupt checkpoints must never panic.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`AsConfig::validate`], exactly like [`Engine::new`].
+    pub fn from_snapshot(
+        mut problem: P,
+        config: AsConfig,
+        snap: &EngineSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        if let Err(e) = config.validate() {
+            panic!("invalid AsConfig: {e}");
+        }
+        let n = problem.size();
+        assert!(n > 0, "cannot search over an empty problem");
+        if snap.rng_state == [0; 4] {
+            return Err(SnapshotError::BadRngState);
+        }
+        let check_len = |field: &'static str, found: usize| {
+            if found != n {
+                Err(SnapshotError::SizeMismatch {
+                    field,
+                    expected: n,
+                    found,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        check_len("configuration", snap.configuration.len())?;
+        check_len("best_config", snap.best_config.len())?;
+        check_len("tabu_horizons", snap.tabu_horizons.len())?;
+        if !snap.errors.is_empty() {
+            check_len("errors", snap.errors.len())?;
+        }
+        let mut seen = vec![false; n];
+        for &v in &snap.configuration {
+            if !(1..=n).contains(&v) || std::mem::replace(&mut seen[v - 1], true) {
+                return Err(SnapshotError::NotAPermutation);
+            }
+        }
+        for (field, vars) in [
+            ("culprit_ties", &snap.culprit_ties),
+            (
+                "freeze_log",
+                &snap.freeze_log.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+            ),
+        ] {
+            if let Some(&var) = vars.iter().find(|&&v| v >= n) {
+                return Err(SnapshotError::VariableOutOfRange { field, var });
+            }
+        }
+        problem.set_configuration(&snap.configuration);
+        let mut tabu = TabuList::new(n, config.tabu_tenure);
+        tabu.restore_horizons(&snap.tabu_horizons);
+        Ok(Self {
+            problem,
+            config,
+            rng: DefaultRng::from_state(snap.rng_state),
+            tabu,
+            stats: snap.stats.clone(),
+            best_cost: snap.best_cost,
+            best_config: snap.best_config.clone(),
+            iterations_since_restart: snap.iterations_since_restart,
+            marked_since_reset: snap.marked_since_reset,
+            restart_pending: snap.restart_pending,
+            errors: snap.errors.clone(),
+            swap_ties: TieBreak::with_capacity(n),
+            probe: Vec::with_capacity(n),
+            select_cache_valid: snap.select_cache_valid,
+            select_cache_now: snap.select_cache_now,
+            culprit_best_err: snap.culprit_best_err,
+            culprit_ties: snap.culprit_ties.clone(),
+            freeze_log: snap.freeze_log.iter().copied().collect(),
+        })
     }
 
     /// The problem being solved (current configuration included).
@@ -944,6 +1151,127 @@ mod tests {
             assert_eq!(ra.stats.iterations, rb.stats.iterations);
             assert_eq!(ra.stats.culprit_fast_selects, rb.stats.culprit_fast_selects);
         }
+    }
+
+    /// Step both engines `steps` times and assert their observable state stays
+    /// bit-for-bit identical throughout.
+    fn assert_lockstep<P: PermutationProblem>(a: &mut Engine<P>, b: &mut Engine<P>, steps: usize) {
+        for i in 0..steps {
+            let oa = a.step();
+            let ob = b.step();
+            assert_eq!(oa, ob, "step outcome diverged at step {i}");
+            assert_eq!(a.snapshot(), b.snapshot(), "state diverged at step {i}");
+            if oa == StepOutcome::Solved {
+                a.restart();
+                b.restart();
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_mid_run() {
+        // Exercise freezes, resets and the carried selection cache before the cut.
+        let config = AsConfig::builder()
+            .reset_limit(32)
+            .plateau_probability(0.4)
+            .tabu_tenure(6)
+            .use_custom_reset(false)
+            .build();
+        let mut original = Engine::new(CostasProblem::new(15), config.clone(), 42);
+        for _ in 0..700 {
+            if original.step() == StepOutcome::Solved {
+                original.restart();
+            }
+        }
+        let snap = original.snapshot();
+        let mut resumed =
+            Engine::from_snapshot(CostasProblem::new(15), config, &snap).expect("valid snapshot");
+        assert_eq!(resumed.snapshot(), snap, "restore must round-trip");
+        assert_lockstep(&mut original, &mut resumed, 700);
+    }
+
+    #[test]
+    fn snapshot_resume_preserves_fast_selection_scratch_errors() {
+        // SwapCounter maintains no cached_errors, so the fast selection path reads
+        // the engine's `errors` scratch — the snapshot must carry it.
+        let config = AsConfig::builder()
+            .reset_limit(64)
+            .plateau_probability(0.1)
+            .tabu_tenure(8)
+            .use_custom_reset(false)
+            .build();
+        let mut original = Engine::new(SwapCounter::new(10), config.clone(), 5);
+        for _ in 0..50 {
+            let _ = original.step();
+        }
+        let snap = original.snapshot();
+        assert_eq!(snap.errors.len(), 10, "scratch errors captured");
+        let mut resumed =
+            Engine::from_snapshot(SwapCounter::new(10), config, &snap).expect("valid snapshot");
+        assert_lockstep(&mut original, &mut resumed, 50);
+        assert!(
+            original.stats().culprit_fast_selects > 0,
+            "the fast path must actually fire for this test to mean anything"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corrupt_images_with_typed_errors() {
+        let config = AsConfig::costas_defaults(8);
+        let e = small_engine(8, 1);
+        let good = e.snapshot();
+
+        let mut bad = good.clone();
+        bad.rng_state = [0; 4];
+        assert_eq!(
+            Engine::from_snapshot(CostasProblem::new(8), config.clone(), &bad).err(),
+            Some(SnapshotError::BadRngState)
+        );
+
+        let mut bad = good.clone();
+        bad.tabu_horizons.pop();
+        assert_eq!(
+            Engine::from_snapshot(CostasProblem::new(8), config.clone(), &bad).err(),
+            Some(SnapshotError::SizeMismatch {
+                field: "tabu_horizons",
+                expected: 8,
+                found: 7
+            })
+        );
+
+        let mut bad = good.clone();
+        bad.configuration[0] = bad.configuration[1];
+        assert_eq!(
+            Engine::from_snapshot(CostasProblem::new(8), config.clone(), &bad).err(),
+            Some(SnapshotError::NotAPermutation)
+        );
+
+        let mut bad = good.clone();
+        bad.culprit_ties = vec![99];
+        assert_eq!(
+            Engine::from_snapshot(CostasProblem::new(8), config, &bad).err(),
+            Some(SnapshotError::VariableOutOfRange {
+                field: "culprit_ties",
+                var: 99
+            })
+        );
+    }
+
+    #[test]
+    fn snapshot_resume_carries_pending_restarts_and_best() {
+        let mut e = small_engine(14, 77);
+        for _ in 0..100 {
+            let _ = e.step();
+        }
+        e.schedule_restart();
+        let snap = e.snapshot();
+        assert!(snap.restart_pending);
+        let mut resumed =
+            Engine::from_snapshot(CostasProblem::new(14), AsConfig::costas_defaults(14), &snap)
+                .expect("valid snapshot");
+        assert_eq!(resumed.best_cost(), e.best_cost());
+        assert!(resumed.restart_pending());
+        assert_lockstep(&mut e, &mut resumed, 100);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod tie_break;
 
 pub use config::{AsConfig, AsConfigBuilder, ResetPolicy, RestartPolicy};
 pub use costas_model::{CostasModelConfig, CostasProblem};
-pub use engine::{Engine, InjectOutcome, StepOutcome};
+pub use engine::{Engine, EngineSnapshot, InjectOutcome, SnapshotError, StepOutcome};
 pub use fault::{Fault, FaultPlan, FaultyProblem};
 pub use multi_restart::{solve_costas, solve_with_restarts, SequentialDriver};
 pub use problem::PermutationProblem;

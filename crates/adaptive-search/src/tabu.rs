@@ -68,6 +68,24 @@ impl TabuList {
     pub fn tenure(&self) -> u64 {
         self.tenure
     }
+
+    /// Raw per-variable freeze horizons, for checkpointing.
+    pub fn horizons(&self) -> &[u64] {
+        &self.frozen_until
+    }
+
+    /// Restore the per-variable freeze horizons captured by [`TabuList::horizons`].
+    ///
+    /// # Panics
+    /// Panics if `horizons.len()` differs from the number of tracked variables.
+    pub fn restore_horizons(&mut self, horizons: &[u64]) {
+        assert_eq!(
+            horizons.len(),
+            self.frozen_until.len(),
+            "horizon snapshot length mismatch"
+        );
+        self.frozen_until.copy_from_slice(horizons);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,139 @@
+//! **Campaign mode** — a checkpoint/resume search campaign behind one harness
+//! binary, the CLI face of [`multiwalk::Campaign`].
+//!
+//! A campaign runs `walkers` independent Adaptive Search walks for `rounds`
+//! rounds of `checkpoint_interval` engine steps each, snapshotting the full
+//! campaign state (per-walker RNG, configuration, engine counters) to an
+//! atomically-replaced checkpoint and appending every *new* D₄ symmetry class
+//! of solution to an append-only, crash-safe result log.  Killing the process
+//! at any point and rerunning it resumes from the latest valid checkpoint and
+//! finishes **bit-for-bit identical** to an uninterrupted same-seed run —
+//! result log included — except for the `resumes_survived` counter, which
+//! honestly counts the crashes this lineage lived through.
+//!
+//! Knobs (see [`bench::BenchConfig`]): `COSTAS_CAMPAIGN_N`,
+//! `COSTAS_CAMPAIGN_WALKERS`, `COSTAS_CAMPAIGN_ROUNDS`,
+//! `COSTAS_CAMPAIGN_INTERVAL`, `COSTAS_CAMPAIGN_DIR` and `COSTAS_SEED`.
+//! `COSTAS_CAMPAIGN_HALT_AFTER=<r>` arms the crash simulation the CI smoke
+//! uses: round `r` runs *without* writing its checkpoint (its log appends land,
+//! exactly like a crash between the log flush and the checkpoint rename) and
+//! the process exits with status 3; the next invocation must roll the log back
+//! to the last checkpoint and re-derive the lost work deterministically.
+//!
+//! Exit status: 0 on a completed campaign, 2 on a typed campaign error
+//! (corrupt checkpoint, spec mismatch, ...), 3 after a simulated crash.
+//!
+//! Output: a summary on stdout and a machine-readable `campaign/v1` artefact
+//! (path overridable with `COSTAS_BENCH_JSON`), validated against
+//! [`bench::schema::validate_campaign`] before it is written.
+
+use bench::{banner, write_bench_json, HarnessOptions};
+use multiwalk::{Campaign, CampaignSpec};
+
+fn main() {
+    let options = HarnessOptions::from_env();
+    let config = bench::BenchConfig::get();
+    banner(
+        "Search campaign (checkpoint/resume, symmetry-deduped result log)",
+        "kill this process at any point; rerunning resumes bit-identically",
+        &options,
+    );
+
+    let dir = config
+        .campaign_dir
+        .clone()
+        .unwrap_or_else(|| bench::experiments_dir().join("campaign"));
+    let mut spec = CampaignSpec::costas(config.campaign_n, dir);
+    spec.walkers = config.campaign_walkers;
+    spec.master_seed = options.master_seed;
+    spec.rounds = config.campaign_rounds;
+    spec.checkpoint_interval = config.campaign_interval;
+
+    println!(
+        "campaign: {} n={} walkers={} rounds={} interval={} dir={}",
+        spec.problem,
+        spec.n,
+        spec.walkers,
+        spec.rounds,
+        spec.checkpoint_interval,
+        spec.dir.display()
+    );
+
+    let (mut campaign, resumed) = match Campaign::open(spec) {
+        Ok(opened) => opened,
+        Err(error) => {
+            eprintln!("campaign: {error}");
+            std::process::exit(2);
+        }
+    };
+    for warning in campaign.warnings() {
+        eprintln!("campaign: warning: {warning}");
+    }
+    if resumed {
+        println!(
+            "campaign: resumed from checkpoint at round {} ({} classes logged so far)",
+            campaign.rounds_done(),
+            campaign.classes().len()
+        );
+    } else {
+        println!("campaign: starting fresh");
+    }
+
+    // Crash simulation: run up to the halt round, the halt round itself
+    // skipping its checkpoint (log appends still land), then die with a
+    // distinctive status so a driver can tell "crashed as ordered" from a
+    // genuine failure.
+    if let Some(halt_after) = config.campaign_halt_after {
+        let halt_after = halt_after.min(campaign.spec().rounds);
+        if campaign.rounds_done() >= halt_after {
+            eprintln!(
+                "campaign: COSTAS_CAMPAIGN_HALT_AFTER={halt_after} but the checkpoint is \
+                 already at round {}; nothing left to crash in",
+                campaign.rounds_done()
+            );
+            std::process::exit(2);
+        }
+        let run = |campaign: &mut Campaign, last: bool| {
+            let result = if last {
+                campaign.run_round_crash_before_checkpoint()
+            } else {
+                campaign.run_round()
+            };
+            if let Err(error) = result {
+                eprintln!("campaign: {error}");
+                std::process::exit(2);
+            }
+        };
+        while campaign.rounds_done() < halt_after {
+            let last = campaign.rounds_done() + 1 == halt_after;
+            run(&mut campaign, last);
+        }
+        println!(
+            "campaign: simulated crash after round {} (its checkpoint was skipped); \
+             rerun without COSTAS_CAMPAIGN_HALT_AFTER to resume",
+            campaign.rounds_done()
+        );
+        std::process::exit(3);
+    }
+
+    if let Err(error) = campaign.run_to_completion() {
+        eprintln!("campaign: {error}");
+        std::process::exit(2);
+    }
+
+    println!(
+        "campaign: {} rounds done, {} solutions found, {} distinct symmetry classes \
+         logged, {} checkpoints written, {} resumes survived, best cost {}",
+        campaign.rounds_done(),
+        campaign.solutions_found(),
+        campaign.classes().len(),
+        campaign.checkpoints_written(),
+        campaign.resumes_survived(),
+        campaign.best_cost()
+    );
+
+    let section = campaign.artifact_section();
+    bench::schema::validate_campaign(&section).expect("emitted campaign section validates");
+    let json_path = write_bench_json("BENCH_campaign.json", &section);
+    println!("JSON written to {}", json_path.display());
+}

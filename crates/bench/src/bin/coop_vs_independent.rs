@@ -44,7 +44,10 @@
 //! (n = 34, 40), one cell on the width-generic probe kernel and one on the
 //! same-build generic histogram baseline — so the committed artefact records
 //! the kernel speedup as a same-machine ratio; throughput entries everywhere
-//! now also carry an `accelerated` flag.
+//! now also carry an `accelerated` flag.  The `campaign` rider (`campaign/v1`,
+//! see `multiwalk::Campaign` and the `campaign` harness) — still additive
+//! within v4 — records a short deterministic checkpoint/resume campaign:
+//! solutions found, distinct D₄ symmetry classes logged, checkpoints written.
 
 use bench::protocol::{cooperative_cell, parallel_cell, CellMode, CellSummary, CoopCellSummary};
 use bench::scaling::{measure_model, scaling_section, ScalingOptions};
@@ -247,8 +250,35 @@ fn main() {
         load.latency_ms(0.99),
     );
 
+    // campaign/v1 rider: a short checkpoint/resume campaign.  The section is a
+    // pure function of (spec, master seed) — same numbers on every machine —
+    // so the committed cell doubles as a cross-platform determinism sentinel.
+    // The state directory is wiped first: a leftover checkpoint would make the
+    // rider *resume* a previous run instead of measuring a fresh campaign.
+    let campaign_dir = bench::experiments_dir().join("campaign_rider");
+    std::fs::remove_dir_all(&campaign_dir).ok();
+    let campaign_config = bench::BenchConfig::get();
+    let mut campaign_spec =
+        multiwalk::CampaignSpec::costas(campaign_config.campaign_n, campaign_dir);
+    campaign_spec.walkers = campaign_config.campaign_walkers;
+    campaign_spec.master_seed = options.master_seed;
+    campaign_spec.rounds = campaign_config.campaign_rounds;
+    campaign_spec.checkpoint_interval = campaign_config.campaign_interval;
+    let (mut campaign, _) =
+        multiwalk::Campaign::open(campaign_spec).expect("campaign rider opens fresh");
+    campaign.run_to_completion().expect("campaign rider runs");
+    println!(
+        "Campaign rider: {} rounds, {} solutions, {} distinct symmetry classes, \
+         {} checkpoints",
+        campaign.rounds_done(),
+        campaign.solutions_found(),
+        campaign.classes().len(),
+        campaign.checkpoints_written(),
+    );
+
     let doc = Json::object(vec![
         ("schema", Json::from("coop_vs_independent/v4")),
+        ("campaign", campaign.artifact_section()),
         (
             "scaling_curve",
             scaling_section(&curves, &scaling_opts, options.master_seed),

@@ -33,6 +33,12 @@
 //! | `COSTAS_LOAD_RETRIES` | `load_retries` | load_gen retry cap on queue-full rejects |
 //! | `COSTAS_LOAD_RETRY_BACKOFF_MS` | `load_retry_backoff_ms` | base backoff of those retries |
 //! | `COSTAS_FAULT_SEED` | `fault_seed` | seed a chaos fault plan into the load run |
+//! | `COSTAS_CAMPAIGN_N` | `campaign_n` | campaign instance order |
+//! | `COSTAS_CAMPAIGN_WALKERS` | `campaign_walkers` | campaign walker count |
+//! | `COSTAS_CAMPAIGN_ROUNDS` | `campaign_rounds` | campaign round budget |
+//! | `COSTAS_CAMPAIGN_INTERVAL` | `campaign_interval` | steps per walker per round |
+//! | `COSTAS_CAMPAIGN_DIR` | `campaign_dir` | campaign checkpoint/log directory |
+//! | `COSTAS_CAMPAIGN_HALT_AFTER` | `campaign_halt_after` | simulate a crash after this round |
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -80,6 +86,22 @@ pub struct BenchConfig {
     /// fault plan and routes part of its mix through the fault-injection
     /// wrapper, so the serving numbers are measured under injected failures.
     pub fault_seed: Option<u64>,
+    /// `COSTAS_CAMPAIGN_N`: instance order of the `campaign` harness.
+    pub campaign_n: usize,
+    /// `COSTAS_CAMPAIGN_WALKERS`: walker count of the `campaign` harness.
+    pub campaign_walkers: usize,
+    /// `COSTAS_CAMPAIGN_ROUNDS`: total rounds the `campaign` harness runs.
+    pub campaign_rounds: u64,
+    /// `COSTAS_CAMPAIGN_INTERVAL`: engine steps per walker per campaign round
+    /// (the checkpoint granularity).
+    pub campaign_interval: u64,
+    /// `COSTAS_CAMPAIGN_DIR`: directory holding the campaign checkpoint files
+    /// and result log (`None` = `target/experiments/campaign`).
+    pub campaign_dir: Option<PathBuf>,
+    /// `COSTAS_CAMPAIGN_HALT_AFTER`: when set, the `campaign` harness simulates
+    /// a crash — the given round runs *without* its checkpoint and the process
+    /// exits with status 3 — so CI can exercise the resume path for real.
+    pub campaign_halt_after: Option<u64>,
     /// Diagnostics accumulated during parsing (unknown variables, bad values).
     pub warnings: Vec<String>,
 }
@@ -102,6 +124,12 @@ impl Default for BenchConfig {
             load_retries: 3,
             load_retry_backoff_ms: 25,
             fault_seed: None,
+            campaign_n: 10,
+            campaign_walkers: 2,
+            campaign_rounds: 3,
+            campaign_interval: 2_000,
+            campaign_dir: None,
+            campaign_halt_after: None,
             warnings: Vec::new(),
         }
     }
@@ -211,11 +239,45 @@ impl BenchConfig {
                     Ok(seed) => config.fault_seed = Some(seed),
                     Err(_) => config.warn_parse(&name, &value, "fault injection stays off"),
                 },
+                "COSTAS_CAMPAIGN_N" => match value.parse::<usize>() {
+                    Ok(n) if n > 0 => config.campaign_n = n,
+                    _ => {
+                        let default = config.campaign_n;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_CAMPAIGN_WALKERS" => match value.parse::<usize>() {
+                    Ok(walkers) if walkers > 0 => config.campaign_walkers = walkers,
+                    _ => {
+                        let default = config.campaign_walkers;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_CAMPAIGN_ROUNDS" => match value.parse::<u64>() {
+                    Ok(rounds) if rounds > 0 => config.campaign_rounds = rounds,
+                    _ => {
+                        let default = config.campaign_rounds;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_CAMPAIGN_INTERVAL" => match value.parse::<u64>() {
+                    Ok(interval) if interval > 0 => config.campaign_interval = interval,
+                    _ => {
+                        let default = config.campaign_interval;
+                        config.warn_parse(&name, &value, &format!("using {default}"));
+                    }
+                },
+                "COSTAS_CAMPAIGN_DIR" => config.campaign_dir = Some(PathBuf::from(value)),
+                "COSTAS_CAMPAIGN_HALT_AFTER" => match value.parse() {
+                    Ok(round) => config.campaign_halt_after = Some(round),
+                    Err(_) => config.warn_parse(&name, &value, "crash simulation stays off"),
+                },
                 _ => config.warnings.push(format!(
                     "unknown variable {name} (typo? this version knows: FULL, RUNS, SEED, \
                      BENCH_JSON, THREADS, SCALING_STEPS, COOP_INTERVAL, SOLVERD_ADDR, \
                      LOAD_RPS, LOAD_REQUESTS, LOAD_WORKERS, LOAD_QUEUE, LOAD_RETRIES, \
-                     LOAD_RETRY_BACKOFF_MS, FAULT_SEED)"
+                     LOAD_RETRY_BACKOFF_MS, FAULT_SEED, CAMPAIGN_N, CAMPAIGN_WALKERS, \
+                     CAMPAIGN_ROUNDS, CAMPAIGN_INTERVAL, CAMPAIGN_DIR, CAMPAIGN_HALT_AFTER)"
                 )),
             }
         }
@@ -268,6 +330,12 @@ mod tests {
             ("COSTAS_LOAD_RETRIES", "6"),
             ("COSTAS_LOAD_RETRY_BACKOFF_MS", "10"),
             ("COSTAS_FAULT_SEED", "4242"),
+            ("COSTAS_CAMPAIGN_N", "12"),
+            ("COSTAS_CAMPAIGN_WALKERS", "4"),
+            ("COSTAS_CAMPAIGN_ROUNDS", "9"),
+            ("COSTAS_CAMPAIGN_INTERVAL", "500"),
+            ("COSTAS_CAMPAIGN_DIR", "campaign_state"),
+            ("COSTAS_CAMPAIGN_HALT_AFTER", "2"),
             ("PATH", "/usr/bin"), // non-COSTAS vars are ignored
         ]));
         assert!(config.full);
@@ -285,6 +353,15 @@ mod tests {
         assert_eq!(config.load_retries, 6);
         assert_eq!(config.load_retry_backoff_ms, 10);
         assert_eq!(config.fault_seed, Some(4242));
+        assert_eq!(config.campaign_n, 12);
+        assert_eq!(config.campaign_walkers, 4);
+        assert_eq!(config.campaign_rounds, 9);
+        assert_eq!(config.campaign_interval, 500);
+        assert_eq!(
+            config.campaign_dir.as_deref(),
+            Some(Path::new("campaign_state"))
+        );
+        assert_eq!(config.campaign_halt_after, Some(2));
         assert!(config.warnings.is_empty(), "{:?}", config.warnings);
     }
 
@@ -308,6 +385,8 @@ mod tests {
             ("COSTAS_THREADS", "zero,none"),
             ("COSTAS_LOAD_RETRIES", "many"),
             ("COSTAS_FAULT_SEED", "chaotic"),
+            ("COSTAS_CAMPAIGN_WALKERS", "0"),
+            ("COSTAS_CAMPAIGN_INTERVAL", "soon"),
         ]));
         assert_eq!(config.runs_override, None);
         assert_eq!(config.master_seed, DEFAULT_MASTER_SEED);
@@ -316,7 +395,16 @@ mod tests {
         assert_eq!(config.thread_counts.as_deref(), Some(&[1][..]));
         assert_eq!(config.load_retries, BenchConfig::default().load_retries);
         assert_eq!(config.fault_seed, None, "a bad seed must not arm chaos");
-        assert_eq!(config.warnings.len(), 7, "{:?}", config.warnings);
+        assert_eq!(
+            config.campaign_walkers,
+            BenchConfig::default().campaign_walkers,
+            "a zero walker count must not produce an unrunnable campaign"
+        );
+        assert_eq!(
+            config.campaign_interval,
+            BenchConfig::default().campaign_interval
+        );
+        assert_eq!(config.warnings.len(), 9, "{:?}", config.warnings);
         for warning in &config.warnings {
             assert!(warning.contains("could not parse"), "{warning}");
         }

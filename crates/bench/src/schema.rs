@@ -10,7 +10,8 @@
 //!
 //! This module is that contract, in code: one validator per current section
 //! schema ([`validate_coop_vs_independent`], [`validate_probe_throughput`],
-//! [`validate_scaling_curve`], [`validate_solverd_load`]) plus a dispatching
+//! [`validate_scaling_curve`], [`validate_solverd_load`],
+//! [`validate_campaign`]) plus a dispatching
 //! [`validate_bench_doc`] that
 //! recognises a document by its `schema` field and rejects superseded versions
 //! (`coop_vs_independent/v2`/`v3`, `probe_throughput/v1`/`v2`/`v3`, …) with an
@@ -40,6 +41,13 @@ pub const SCALING_CURVE_SCHEMA: &str = "scaling_curve/v1";
 /// the admission invariant to
 /// `completed + rejected_overflow + rejected_other + worker_panicked == offered`.
 pub const SOLVERD_LOAD_SCHEMA: &str = "solverd_load/v2";
+/// Current schema tag of the campaign section: the checkpoint/resume search
+/// campaign report emitted by `multiwalk::Campaign::artifact_section` (see the
+/// `campaign` harness).  Every value is an integer derived from the
+/// deterministic search, so two same-seed campaigns must agree on every field
+/// except `resumes_survived` — the count of crashes *this* execution lived
+/// through — which is exactly what the CI campaign smoke checks.
+pub const CAMPAIGN_SCHEMA: &str = "campaign/v1";
 
 fn schema_of(doc: &Json) -> Result<&str, String> {
     doc.get("schema")
@@ -144,6 +152,76 @@ pub fn validate_coop_vs_independent(doc: &Json) -> Result<(), String> {
     }
     if let Some(load) = doc.get("solverd_load") {
         validate_solverd_load(load)?;
+    }
+    if let Some(campaign) = doc.get("campaign") {
+        validate_campaign(campaign)?;
+    }
+    Ok(())
+}
+
+/// Validate a `campaign/v1` section (standalone document or rider): the
+/// checkpoint/resume campaign report of `multiwalk::Campaign`.
+///
+/// Beyond field shape this checks the dedup-accounting invariants a correct
+/// campaign must satisfy: the symmetry-deduped class count never exceeds the
+/// raw solution count, the append-only result log holds exactly one record per
+/// distinct class, and no walker stepped past the round budget
+/// (`total_steps <= rounds * walkers * checkpoint_interval`; solved rounds may
+/// fall short because a solve terminates the step without counting it).
+pub fn validate_campaign(section: &Json) -> Result<(), String> {
+    require_schema(section, CAMPAIGN_SCHEMA)?;
+    section
+        .get("problem")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "campaign: missing string \"problem\"".to_string())?;
+    require_u64(section, "n", "campaign")?;
+    let walkers = require_u64(section, "walkers", "campaign")?;
+    if walkers == 0 {
+        return Err("campaign: walkers must be >= 1".into());
+    }
+    require_u64(section, "master_seed", "campaign")?;
+    let rounds = require_u64(section, "rounds", "campaign")?;
+    if rounds == 0 {
+        return Err("campaign: rounds must be >= 1 (an empty campaign measured nothing)".into());
+    }
+    let interval = require_u64(section, "checkpoint_interval", "campaign")?;
+    if interval == 0 {
+        return Err("campaign: checkpoint_interval must be >= 1".into());
+    }
+    let total_steps = require_u64(section, "total_steps", "campaign")?;
+    let budget = rounds
+        .checked_mul(walkers)
+        .and_then(|v| v.checked_mul(interval))
+        .ok_or_else(|| "campaign: step budget overflows u64".to_string())?;
+    if total_steps > budget {
+        return Err(format!(
+            "campaign: total_steps {total_steps} exceeds the budget \
+             rounds {rounds} x walkers {walkers} x checkpoint_interval {interval} = {budget}"
+        ));
+    }
+    let solutions = require_u64(section, "solutions_found", "campaign")?;
+    let classes = require_u64(section, "distinct_classes", "campaign")?;
+    if classes > solutions {
+        return Err(format!(
+            "campaign: distinct_classes {classes} > solutions_found {solutions} \
+             — dedup cannot invent equivalence classes"
+        ));
+    }
+    let log_records = require_u64(section, "log_records", "campaign")?;
+    if log_records != classes {
+        return Err(format!(
+            "campaign: log_records {log_records} != distinct_classes {classes} \
+             — the result log must hold exactly one record per class"
+        ));
+    }
+    require_u64(section, "checkpoints_written", "campaign")?;
+    require_u64(section, "resumes_survived", "campaign")?;
+    require_u64(section, "best_cost", "campaign")?;
+    if solutions > 0 && classes == 0 {
+        return Err(format!(
+            "campaign: solutions_found {solutions} but no distinct class \
+             — the first solution always founds an equivalence class"
+        ));
     }
     Ok(())
 }
@@ -382,6 +460,7 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
         Some("probe_throughput") => validate_probe_throughput(doc),
         Some("scaling_curve") => validate_scaling_curve(doc),
         Some("solverd_load") => validate_solverd_load(doc),
+        Some("campaign") => validate_campaign(doc),
         _ => Err(format!("unknown benchmark schema {schema:?}")),
     }
 }
@@ -480,6 +559,25 @@ mod tests {
         .to_json()
     }
 
+    fn sample_campaign_section() -> Json {
+        Json::object(vec![
+            ("schema", Json::from(CAMPAIGN_SCHEMA)),
+            ("problem", Json::from("costas")),
+            ("n", Json::from(10usize)),
+            ("walkers", Json::from(2u64)),
+            ("master_seed", Json::from(7u64)),
+            ("rounds", Json::from(3u64)),
+            ("checkpoint_interval", Json::from(2_000u64)),
+            ("total_steps", Json::from(11_600u64)),
+            ("solutions_found", Json::from(9u64)),
+            ("distinct_classes", Json::from(6u64)),
+            ("log_records", Json::from(6u64)),
+            ("checkpoints_written", Json::from(3u64)),
+            ("resumes_survived", Json::from(0u64)),
+            ("best_cost", Json::from(0u64)),
+        ])
+    }
+
     fn sample_coop_doc() -> Json {
         let side = Json::object(vec![
             ("mean_iterations", Json::from(1000.0)),
@@ -518,6 +616,7 @@ mod tests {
             ),
             ("scaling_curve", sample_scaling_section()),
             ("solverd_load", sample_load_section()),
+            ("campaign", sample_campaign_section()),
         ])
     }
 
@@ -547,6 +646,61 @@ mod tests {
         let load = sample_load_section();
         let parsed = Json::parse(&load.render()).expect("load section parses");
         validate_bench_doc(&parsed).expect("solverd_load/v2 validates");
+
+        let campaign = sample_campaign_section();
+        let parsed = Json::parse(&campaign.render()).expect("campaign section parses");
+        validate_bench_doc(&parsed).expect("campaign/v1 validates");
+    }
+
+    /// The campaign validator enforces the dedup accounting, not just shape.
+    #[test]
+    fn campaign_accounting_violations_are_caught() {
+        let poke = |key: &str, value: Json| {
+            let mut section = sample_campaign_section();
+            if let Json::Object(map) = &mut section {
+                map.insert(key.into(), value);
+            }
+            validate_campaign(&section)
+        };
+        assert!(poke("walkers", Json::from(0u64))
+            .expect_err("zero walkers")
+            .contains("walkers"));
+        assert!(poke("rounds", Json::from(0u64))
+            .expect_err("empty campaign")
+            .contains("rounds"));
+        assert!(poke("checkpoint_interval", Json::from(0u64))
+            .expect_err("zero interval")
+            .contains("checkpoint_interval"));
+        assert!(poke("total_steps", Json::from(1_000_000u64))
+            .expect_err("stepping past the budget")
+            .contains("budget"));
+        assert!(poke("distinct_classes", Json::from(99u64))
+            .expect_err("dedup inventing classes")
+            .contains("distinct_classes"));
+        assert!(poke("log_records", Json::from(5u64))
+            .expect_err("log out of step with the class set")
+            .contains("log_records"));
+        let mut unlogged = sample_campaign_section();
+        if let Json::Object(map) = &mut unlogged {
+            map.insert("distinct_classes".into(), Json::from(0u64));
+            map.insert("log_records".into(), Json::from(0u64));
+        }
+        assert!(validate_campaign(&unlogged)
+            .expect_err("solved campaign with an empty log")
+            .contains("solutions_found"));
+        assert!(
+            poke("best_cost", Json::from("perfect")).is_err(),
+            "best_cost must be an unsigned integer"
+        );
+        // a campaign that never solved is still a valid (honest) report
+        let mut dry = sample_campaign_section();
+        if let Json::Object(map) = &mut dry {
+            map.insert("solutions_found".into(), Json::from(0u64));
+            map.insert("distinct_classes".into(), Json::from(0u64));
+            map.insert("log_records".into(), Json::from(0u64));
+            map.insert("best_cost".into(), Json::from(3u64));
+        }
+        validate_campaign(&dry).expect("an unsolved campaign validates");
     }
 
     /// The load validator enforces the admission/termination accounting, not
@@ -605,6 +759,7 @@ mod tests {
             ("scaling_curve/v0", SCALING_CURVE_SCHEMA),
             ("solverd_load/v0", SOLVERD_LOAD_SCHEMA),
             ("solverd_load/v1", SOLVERD_LOAD_SCHEMA),
+            ("campaign/v0", CAMPAIGN_SCHEMA),
         ] {
             let doc = Json::object(vec![("schema", Json::from(stale))]);
             let err = validate_bench_doc(&doc).expect_err(stale);
@@ -707,6 +862,31 @@ mod tests {
         assert!(
             load.get("solved").and_then(Json::as_u64).unwrap_or(0) > 0,
             "the committed load run must have solved something"
+        );
+        // The campaign rider: the committed artefact carries a checkpoint/
+        // resume campaign cell, deduped down to symmetry classes.  The
+        // committed run must have found solutions (the rider's order is small
+        // enough that a dry campaign means the search engine broke), and an
+        // uninterrupted generation run survives zero resumes by definition.
+        let campaign = doc
+            .get("campaign")
+            .expect("BENCH_dev.json carries a campaign section");
+        assert_eq!(
+            campaign.get("schema").and_then(Json::as_str),
+            Some(CAMPAIGN_SCHEMA)
+        );
+        let classes = campaign
+            .get("distinct_classes")
+            .and_then(Json::as_u64)
+            .expect("distinct_classes");
+        assert!(
+            classes >= 1,
+            "the committed campaign must have logged at least one class"
+        );
+        assert_eq!(
+            campaign.get("resumes_survived").and_then(Json::as_u64),
+            Some(0),
+            "the committed cell comes from an uninterrupted generation run"
         );
         // The multi-word kernel cells: every large-n order carries its
         // kernel/baseline pair.  The issue-8 speedup target (probe throughput

@@ -94,6 +94,17 @@ impl Symmetry {
     pub fn apply_perm(self, p: &Permutation) -> Permutation {
         Permutation::try_new(self.apply(p.values())).expect("symmetry preserves permutations")
     }
+
+    /// The group inverse: `s.inverse().apply(&s.apply(v)) == v` for every
+    /// permutation `v`.  Every element of D₄ is an involution except the two
+    /// quarter-turn rotations, which invert each other.
+    pub fn inverse(self) -> Symmetry {
+        match self {
+            Symmetry::Rotate90 => Symmetry::Rotate270,
+            Symmetry::Rotate270 => Symmetry::Rotate90,
+            other => other,
+        }
+    }
 }
 
 /// The orbit of a permutation under the full dihedral group (duplicates removed, so
@@ -211,6 +222,19 @@ mod tests {
         }
         // canonical form is itself in the orbit
         assert!(orbit(&EXAMPLE).contains(&canon));
+    }
+
+    #[test]
+    fn inverse_round_trips_every_element() {
+        for s in Symmetry::ALL {
+            let there = s.apply(&EXAMPLE);
+            assert_eq!(
+                s.inverse().apply(&there),
+                EXAMPLE.to_vec(),
+                "{s:?}⁻¹ ∘ {s:?} must be the identity"
+            );
+            assert_eq!(s.inverse().inverse(), s, "inverse is an involution on D₄");
+        }
     }
 
     #[test]

@@ -188,6 +188,31 @@ proptest! {
     }
 
     #[test]
+    fn apply_round_trips_through_each_elements_inverse(perm in arb_permutation()) {
+        for s in Symmetry::ALL {
+            let there = s.apply(&perm);
+            prop_assert_eq!(s.inverse().apply(&there), perm.clone(), "{:?}", s);
+            // and the other way around: s undoes its inverse too
+            let back = s.inverse().apply(&perm);
+            prop_assert_eq!(s.apply(&back), perm.clone(), "{:?}", s);
+        }
+    }
+
+    #[test]
+    fn canonicalization_preserves_costas_property(perm in arb_permutation()) {
+        // Canonicalizing a Costas array yields a Costas array (and likewise for
+        // non-Costas grids): the campaign dedup log stores only canonical forms, so
+        // every logged record must still satisfy `costas::check`.
+        let canon = canonical_form(&perm);
+        prop_assert_eq!(
+            is_costas_permutation(&canon),
+            is_costas_permutation(&perm)
+        );
+        // canonicalization is idempotent
+        prop_assert_eq!(canonical_form(&canon), canon.clone());
+    }
+
+    #[test]
     fn orbit_sizes_divide_eight(perm in arb_permutation()) {
         let len = orbit(&perm).len();
         prop_assert!((1..=8).contains(&len));

@@ -49,6 +49,7 @@
 //! `coop_vs_independent` harness in the `bench` crate measures the ratio per core
 //! count so the decision can be made from data.
 
+pub mod campaign;
 pub mod cooperative;
 pub mod mpi_runner;
 pub mod platform;
@@ -56,6 +57,7 @@ pub mod thread_runner;
 pub mod virtual_cluster;
 pub mod walker;
 
+pub use campaign::{Campaign, CampaignError, CampaignSpec};
 pub use cooperative::{CoopConfig, CoopResult, CooperativeRunner};
 pub use mpi_runner::MpiRunner;
 pub use platform::PlatformProfile;
